@@ -1,0 +1,80 @@
+// Reproduces Fig. 11: SPLASH training and inference time as the stream
+// grows. The paper sweeps 100M-1B edges on a server; here the default sweep
+// is 20k-320k edges (SPLASH_SCALE_MAX sets the largest size) and the claim
+// under test is the *shape*: both times grow near-linearly in the number of
+// edges, i.e. per-edge cost is independent of graph size.
+
+#include "bench/bench_common.h"
+#include "datasets/scalability.h"
+#include "eval/timing.h"
+
+using namespace splash;
+using namespace splash::bench;
+
+int main() {
+  const size_t max_edges = static_cast<size_t>(
+      EnvDouble("SPLASH_SCALE_MAX", 320000));
+  std::printf("=== Fig. 11: scalability of SPLASH (up to %zu edges) ===\n\n",
+              max_edges);
+  std::printf("%12s %12s %14s %14s %14s\n", "edges", "nodes", "train(s)",
+              "inference(s)", "us/edge(inf)");
+  PrintRule(70);
+
+  BenchDims dims;
+  dims.feature_dim = 16;  // keep memory bounded at the largest sweep points
+
+  double prev_edges = 0.0, prev_inf = 0.0;
+  std::vector<double> ratios;
+  for (size_t edges = 20000; edges <= max_edges; edges *= 2) {
+    ScalabilityOptions sopts;
+    sopts.num_edges = edges;
+    sopts.num_nodes = std::max<size_t>(1000, edges / 50);
+    const Dataset ds = GenerateScalabilityStream(sopts);
+    const ChronoSplit split = MakeChronoSplit(ds.stream, 0.1, 0.1);
+
+    SplashOptions opts;
+    opts.mode = SplashMode::kForceStructural;  // streaming-only features:
+    opts.augment.feature_dim = dims.feature_dim;  // isolates stream cost
+    opts.slim.hidden_dim = 32;
+    opts.slim.time_dim = 8;
+    opts.slim.k_recent = dims.k_recent;
+    SplashPredictor model(opts);
+    model.Prepare(ds, split).ok();
+
+    TrainerOptions topts;
+    topts.epochs = 1;
+    topts.batch_size = 200;
+    topts.early_stopping = false;
+    StreamTrainer trainer(topts);
+    WallTimer train_timer;
+    trainer.Fit(&model, ds, split);
+    const double train_s = train_timer.Seconds();
+
+    WallTimer inf_timer;
+    const EvalResult eval = trainer.Evaluate(&model, ds, split);
+    const double inf_s = inf_timer.Seconds();
+
+    std::printf("%12zu %12zu %14.2f %14.2f %14.2f\n", edges, sopts.num_nodes,
+                train_s, inf_s,
+                1e6 * inf_s / static_cast<double>(ds.stream.size()));
+    std::fflush(stdout);
+    (void)eval;
+    if (prev_edges > 0.0) {
+      // Growth of inference time relative to growth of edges (1.0 = linear).
+      ratios.push_back((inf_s / prev_inf) / (edges / prev_edges));
+    }
+    prev_edges = static_cast<double>(edges);
+    prev_inf = inf_s;
+  }
+
+  if (!ratios.empty()) {
+    double mean = 0.0;
+    for (double r : ratios) mean += r;
+    mean /= static_cast<double>(ratios.size());
+    std::printf("\nmean doubling ratio (1.0 == perfectly linear): %.2f\n",
+                mean);
+  }
+  std::printf("Expected shape (paper Fig. 11): near-linear growth — per-edge "
+              "cost independent of graph size.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 12: robustness under artificial distribution shifts of
+// increasing intensity (Synthetic-50/70/90). Higher intensity = more of the
+// test period consists of nodes unseen during training plus more community
+// migration at the boundary.
+
+#include "bench/bench_common.h"
+#include "datasets/shift_intensity.h"
+
+using namespace splash;
+using namespace splash::bench;
+
+int main() {
+  const double scale = BenchScale();
+  const size_t epochs = BenchEpochs();
+  const size_t edges = static_cast<size_t>(20000 * scale) + 4000;
+  std::printf(
+      "=== Fig. 12: F1 (%%) under shift intensities 50/70/90 "
+      "(%zu edges, epochs=%zu) ===\n\n",
+      edges, epochs);
+
+  BenchDims dims;
+  struct Row {
+    std::string label;
+    std::function<std::unique_ptr<TemporalPredictor>()> make;
+  };
+  const std::vector<Row> rows = {
+      {"SPLASH", [&]() { return MakeSplash(SplashMode::kAuto, dims); }},
+      {"SLIM+ZF", [&]() { return MakeSplash(SplashMode::kZeroFeatures, dims); }},
+      {"JODIE+RF", [&]() { return MakeBaselineModel("jodie", true, dims); }},
+      {"TGAT+RF", [&]() { return MakeBaselineModel("tgat", true, dims); }},
+      {"DyGFormer+RF",
+       [&]() { return MakeBaselineModel("dygformer", true, dims); }},
+      {"GraphMixer+RF",
+       [&]() { return MakeBaselineModel("graphmixer", true, dims); }},
+      // DTDG-family representative (see DESIGN.md §3 on DIDA/SLID).
+      {"DySAT+RF", [&]() { return MakeBaselineModel("dysat", true, dims); }},
+      {"TGN (no feat)",
+       [&]() { return MakeBaselineModel("tgn", false, dims); }},
+  };
+
+  const std::vector<int> intensities = {50, 70, 90};
+  std::printf("%-16s", "method");
+  for (int i : intensities) std::printf("  Synth-%2d", i);
+  std::printf("\n");
+  PrintRule(16 + 10 * intensities.size());
+
+  for (const Row& row : rows) {
+    std::printf("%-16s", row.label.c_str());
+    std::fflush(stdout);
+    for (int intensity : intensities) {
+      const Dataset ds = GenerateShiftIntensity(intensity, edges);
+      auto model = row.make();
+      const CellResult cell = RunCell(model.get(), ds, epochs, 100);
+      std::printf("  %8.1f", 100.0 * cell.metric);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape (paper Fig. 12): all featureless/complex "
+              "TGNNs degrade sharply with intensity;\nSPLASH stays on top at "
+              "every intensity and the gap widens at 90.\n");
+  return 0;
+}

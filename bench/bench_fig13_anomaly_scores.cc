@@ -1,0 +1,136 @@
+// Reproduces Fig. 13 (qualitative): anomaly scores over time for one user
+// who transitions from normal to abnormal during the test period, as scored
+// by SPLASH and three baselines. The paper shows only SPLASH tracking the
+// transition; here we print the score series around the transition plus a
+// per-model "transition contrast" (mean abnormal score - mean normal score,
+// in each model's own score scale).
+
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace splash;
+using namespace splash::bench;
+
+namespace {
+
+/// Scores every test query of `target`, returning (time, score, label).
+struct ScorePoint {
+  double time;
+  double score;
+  int label;
+};
+
+std::vector<ScorePoint> ScoreUser(TemporalPredictor* model, const Dataset& ds,
+                                  const ChronoSplit& split, NodeId target) {
+  model->SetTraining(false);
+  model->ResetState();
+  std::vector<ScorePoint> points;
+  size_t qi = 0;
+  for (size_t i = 0; i < ds.stream.size(); ++i) {
+    while (qi < ds.queries.size() &&
+           ds.queries[qi].time <= ds.stream[i].time) {
+      const PropertyQuery& q = ds.queries[qi];
+      if (q.node == target && q.time > split.val_end_time) {
+        const Matrix out = model->PredictBatch({q});
+        const double score = out.cols() >= 2
+                                 ? double(out(0, 1)) - out(0, 0)
+                                 : out(0, 0);
+        points.push_back({q.time, score, q.class_label});
+      }
+      ++qi;
+    }
+    model->ObserveEdge(ds.stream[i], i);
+  }
+  return points;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = BenchScale();
+  const size_t epochs = BenchEpochs();
+  std::printf(
+      "=== Fig. 13: anomaly scores over time for a state-flipping user "
+      "(reddit-s, scale=%.2f) ===\n\n",
+      scale);
+
+  const Dataset ds = MakeDataset("reddit-s", scale).value();
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.1, 0.1);
+
+  // Find a test-period user with both states and a clear flip.
+  std::map<NodeId, std::pair<size_t, size_t>> counts;  // normal, abnormal
+  for (const auto& q : ds.queries) {
+    if (q.time <= split.val_end_time) continue;
+    auto& c = counts[q.node];
+    (q.class_label ? c.second : c.first)++;
+  }
+  NodeId target = kInvalidNode;
+  size_t best = 0;
+  for (const auto& [node, c] : counts) {
+    const size_t usable = std::min(c.first, c.second);
+    if (usable > best) {
+      best = usable;
+      target = node;
+    }
+  }
+  if (target == kInvalidNode) {
+    std::printf("no state-flipping user found; increase SPLASH_BENCH_SCALE\n");
+    return 0;
+  }
+  std::printf("target user: %u (%zu normal / %zu abnormal test queries)\n\n",
+              target, counts[target].first, counts[target].second);
+
+  BenchDims dims;
+  struct Row {
+    std::string label;
+    std::unique_ptr<TemporalPredictor> model;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"SPLASH", MakeSplash(SplashMode::kAuto, dims)});
+  rows.push_back({"DyGFormer+RF", MakeBaselineModel("dygformer", true, dims)});
+  rows.push_back({"TGAT", MakeBaselineModel("tgat", false, dims)});
+  rows.push_back({"SLADE", MakeBaselineModel("slade", false, dims)});
+
+  for (Row& row : rows) {
+    RunCell(row.model.get(), ds, epochs, 100);  // train (no-op for SLADE)
+    const auto points = ScoreUser(row.model.get(), ds, split, target);
+
+    // Normalize scores to [0,1] within the series for comparability.
+    double lo = 1e300, hi = -1e300;
+    for (const auto& p : points) {
+      lo = std::min(lo, p.score);
+      hi = std::max(hi, p.score);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    double normal_mean = 0.0, abnormal_mean = 0.0;
+    size_t n_norm = 0, n_abn = 0;
+    std::printf("%-14s:", row.label.c_str());
+    const size_t stride = std::max<size_t>(1, points.size() / 24);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double s = (points[i].score - lo) / span;
+      if (points[i].label) {
+        abnormal_mean += s;
+        ++n_abn;
+      } else {
+        normal_mean += s;
+        ++n_norm;
+      }
+      if (i % stride == 0) {
+        std::printf(" %c%.2f", points[i].label ? '*' : ' ', s);
+      }
+    }
+    normal_mean /= std::max<size_t>(1, n_norm);
+    abnormal_mean /= std::max<size_t>(1, n_abn);
+    std::printf("\n%14s  transition contrast (abnormal - normal) = %+.3f\n",
+                "", abnormal_mean - normal_mean);
+    std::fflush(stdout);
+  }
+  std::printf("\n('*' marks queries whose ground-truth state is abnormal; "
+              "scores min-max normalized per model.)\n");
+  std::printf("Expected shape (paper Fig. 13): SPLASH shows the largest "
+              "positive contrast — its score rises\nexactly when the user "
+              "turns abnormal; weak baselines stay flat.\n");
+  return 0;
+}

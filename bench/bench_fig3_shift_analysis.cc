@@ -1,0 +1,38 @@
+// Reproduces Fig. 3 (preliminary analysis): evidence of positional,
+// structural, and property distribution shifts in an edge stream over time,
+// computed on the Reddit stand-in: (a) distances between mean node2vec
+// embeddings of nodes grouped by appearance window, (b) average temporal
+// degree per window, (c) anomaly-rate per window.
+
+#include "analysis/drift.h"
+#include "bench/bench_common.h"
+
+using namespace splash;
+using namespace splash::bench;
+
+int main() {
+  const double scale = BenchScale();
+  std::printf("=== Fig. 3: distribution-shift diagnostics on reddit-s "
+              "(scale=%.2f) ===\n\n", scale);
+
+  const Dataset ds = MakeDataset("reddit-s", scale).value();
+  Rng rng(7);
+  const size_t windows = 6;
+  const DriftReport report = AnalyzeDrift(ds, windows, 16, &rng);
+
+  std::printf("(b) structural: average temporal degree per time window\n");
+  std::printf("    ");
+  for (double d : report.avg_degree) std::printf(" %8.2f", d);
+  std::printf("\n\n(c) property: abnormal-query rate per time window\n");
+  std::printf("    ");
+  for (double r : report.label_rate) std::printf(" %8.4f", r);
+  std::printf(
+      "\n\n(a) positional: distance between mean embeddings of consecutive "
+      "appearance groups\n    ");
+  for (double d : report.positional_shift) std::printf(" %8.4f", d);
+  std::printf("\n\nExpected shape (paper Fig. 3): degree grows over time "
+              "(structural drift), the anomaly rate\nchanges over time "
+              "(property drift), and appearance groups occupy shifting "
+              "embedding regions\n(positional drift).\n");
+  return 0;
+}
