@@ -1,0 +1,127 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "analysis/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/matrix.h"
+
+namespace splash {
+
+DriftReport AnalyzeDrift(const Dataset& ds, size_t windows, size_t embed_dim,
+                         Rng* rng) {
+  DriftReport report;
+  const size_t n_edges = ds.stream.size();
+  if (n_edges == 0 || windows == 0) return report;
+  const double t0 = ds.stream.min_time();
+  const double t1 = ds.stream.max_time();
+  const double span = std::max(1e-12, t1 - t0);
+  auto window_of = [&](double t) {
+    const size_t w =
+        static_cast<size_t>((t - t0) / span * static_cast<double>(windows));
+    return std::min(w, windows - 1);
+  };
+
+  const size_t n_nodes = ds.stream.num_nodes();
+  const NodeId* src = ds.stream.src_data();
+  const NodeId* dst = ds.stream.dst_data();
+  const double* time = ds.stream.time_data();
+
+  // (b) structural: per-window incident endpoints / distinct nodes touched.
+  {
+    std::vector<size_t> window_endpoints(windows, 0);
+    std::vector<size_t> window_nodes(windows, 0);
+    std::vector<uint32_t> last_touch(n_nodes, static_cast<uint32_t>(-1));
+    for (size_t i = 0; i < n_edges; ++i) {
+      const size_t w = window_of(time[i]);
+      window_endpoints[w] += 2;
+      for (const NodeId v : {src[i], dst[i]}) {
+        if (last_touch[v] != w) {
+          last_touch[v] = static_cast<uint32_t>(w);
+          ++window_nodes[w];
+        }
+      }
+    }
+    report.avg_degree.resize(windows, 0.0);
+    for (size_t w = 0; w < windows; ++w) {
+      if (window_nodes[w] > 0) {
+        report.avg_degree[w] = static_cast<double>(window_endpoints[w]) /
+                               static_cast<double>(window_nodes[w]);
+      }
+    }
+  }
+
+  // (c) property: abnormal-query rate per window.
+  {
+    std::vector<size_t> total(windows, 0), abnormal(windows, 0);
+    for (const PropertyQuery& q : ds.queries) {
+      const size_t w = window_of(q.time);
+      ++total[w];
+      abnormal[w] += q.class_label != 0;
+    }
+    report.label_rate.resize(windows, 0.0);
+    for (size_t w = 0; w < windows; ++w) {
+      if (total[w] > 0) {
+        report.label_rate[w] = static_cast<double>(abnormal[w]) /
+                               static_cast<double>(total[w]);
+      }
+    }
+  }
+
+  // (a) positional: embed nodes by smoothing along edges (node2vec
+  // stand-in), group by first-appearance window, measure consecutive group
+  // mean distances.
+  {
+    std::vector<uint32_t> group(n_nodes, static_cast<uint32_t>(-1));
+    for (size_t i = 0; i < n_edges; ++i) {
+      const size_t w = window_of(time[i]);
+      for (const NodeId v : {src[i], dst[i]}) {
+        if (group[v] == static_cast<uint32_t>(-1)) {
+          group[v] = static_cast<uint32_t>(w);
+        }
+      }
+    }
+    Matrix emb = Matrix::Gaussian(n_nodes, embed_dim, rng,
+                                  1.0f / std::sqrt(static_cast<float>(
+                                             std::max<size_t>(1, embed_dim))));
+    constexpr float kStep = 0.3f;
+    for (int round = 0; round < 3; ++round) {
+      for (size_t i = 0; i < n_edges; ++i) {
+        float* a = emb.Row(src[i]);
+        float* b = emb.Row(dst[i]);
+        for (size_t j = 0; j < embed_dim; ++j) {
+          const float av = a[j], bv = b[j];
+          a[j] = av + kStep * (bv - av);
+          b[j] = bv + kStep * (av - bv);
+        }
+      }
+    }
+    Matrix means(windows, embed_dim);
+    std::vector<size_t> counts(windows, 0);
+    for (size_t v = 0; v < n_nodes; ++v) {
+      if (group[v] == static_cast<uint32_t>(-1)) continue;
+      Axpy(1.0f, emb.Row(v), means.Row(group[v]), embed_dim);
+      ++counts[group[v]];
+    }
+    for (size_t w = 0; w < windows; ++w) {
+      if (counts[w] == 0) continue;
+      float* row = means.Row(w);
+      const float inv = 1.0f / static_cast<float>(counts[w]);
+      for (size_t j = 0; j < embed_dim; ++j) row[j] *= inv;
+    }
+    report.positional_shift.resize(windows > 1 ? windows - 1 : 0, 0.0);
+    for (size_t w = 0; w + 1 < windows; ++w) {
+      double acc = 0.0;
+      for (size_t j = 0; j < embed_dim; ++j) {
+        const double d =
+            static_cast<double>(means(w + 1, j)) - means(w, j);
+        acc += d * d;
+      }
+      report.positional_shift[w] = std::sqrt(acc);
+    }
+  }
+  return report;
+}
+
+}  // namespace splash

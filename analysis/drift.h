@@ -1,0 +1,35 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Fig. 3 diagnostics: quantifies the three distribution shifts of an edge
+// stream over equal time windows.
+
+#ifndef SPLASH_ANALYSIS_DRIFT_H_
+#define SPLASH_ANALYSIS_DRIFT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "tensor/rng.h"
+
+namespace splash {
+
+struct DriftReport {
+  /// (b) structural: mean temporal degree (window edges incident per node
+  /// touched in that window), one entry per window.
+  std::vector<double> avg_degree;
+  /// (c) property: fraction of abnormal (label != 0) queries per window.
+  std::vector<double> label_rate;
+  /// (a) positional: distance between mean embeddings of consecutive
+  /// appearance groups (nodes grouped by first-appearance window);
+  /// windows - 1 entries.
+  std::vector<double> positional_shift;
+};
+
+/// `embed_dim` sizes the throwaway smoothing embedding used for (a).
+DriftReport AnalyzeDrift(const Dataset& ds, size_t windows, size_t embed_dim,
+                         Rng* rng);
+
+}  // namespace splash
+
+#endif  // SPLASH_ANALYSIS_DRIFT_H_

@@ -1,0 +1,161 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace splash {
+
+namespace {
+
+/// Binary-searches the Gaussian bandwidth of row `i` so the conditional
+/// distribution hits the target perplexity, writing p_{j|i} into `row`.
+void FitConditional(const std::vector<double>& sqdist, size_t n, size_t i,
+                    double perplexity, double* row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_lo = 0.0, beta_hi = 1e300;
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0, weighted = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        row[j] = 0.0;
+        continue;
+      }
+      const double p = std::exp(-beta * sqdist[j]);
+      row[j] = p;
+      sum += p;
+      weighted += beta * sqdist[j] * p;
+    }
+    if (sum <= 0.0) {
+      beta = 0.5 * (beta_lo + (beta_hi >= 1e300 ? beta * 2.0 : beta_hi));
+      continue;
+    }
+    const double entropy = std::log(sum) + weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0.0) {  // too flat -> sharpen
+      beta_lo = beta;
+      beta = beta_hi >= 1e300 ? beta * 2.0 : 0.5 * (beta + beta_hi);
+    } else {
+      beta_hi = beta;
+      beta = 0.5 * (beta + beta_lo);
+    }
+  }
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) sum += row[j];
+  if (sum > 0.0) {
+    const double inv = 1.0 / sum;
+    for (size_t j = 0; j < n; ++j) row[j] *= inv;
+  }
+}
+
+}  // namespace
+
+Matrix RunTsne(const Matrix& x, const TsneOptions& opts, Rng* rng) {
+  const size_t n = x.rows(), d = x.cols();
+  Matrix y(n, 2);
+  if (n == 0) return y;
+  if (n == 1) return y;
+
+  // Symmetrized affinities P.
+  const double perplexity =
+      std::min(opts.perplexity, static_cast<double>(n - 1) / 3.0);
+  std::vector<double> p(n * n, 0.0);
+  {
+    std::vector<double> sqdist(n);
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+      const float* xi = x.Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* xj = x.Row(j);
+        double acc = 0.0;
+        for (size_t t = 0; t < d; ++t) {
+          const double diff = static_cast<double>(xi[t]) - xj[t];
+          acc += diff * diff;
+        }
+        sqdist[j] = acc;
+      }
+      FitConditional(sqdist, n, i, std::max(2.0, perplexity), row.data());
+      for (size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
+    }
+    // Symmetrize and normalize.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double v = 0.5 * (p[i * n + j] + p[j * n + i]);
+        p[i * n + j] = v;
+        p[j * n + i] = v;
+        total += 2.0 * v;
+      }
+    }
+    const double inv = total > 0.0 ? 1.0 / total : 0.0;
+    for (double& v : p) v = std::max(v * inv, 1e-12);
+  }
+
+  rng->FillGaussian(y.data(), y.size(), 1e-2f);
+  Matrix gains = Matrix::Ones(n, 2);
+  Matrix velocity(n, 2);
+  std::vector<double> qnum(n * n);
+
+  for (size_t iter = 0; iter < opts.iterations; ++iter) {
+    const double exaggeration =
+        iter < opts.exaggeration_iters ? opts.exaggeration : 1.0;
+    const double momentum = iter < 250 ? 0.5 : 0.8;
+
+    // Student-t numerators and their sum.
+    double qsum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      qnum[i * n + i] = 0.0;
+      for (size_t j = i + 1; j < n; ++j) {
+        const double dx = static_cast<double>(y(i, 0)) - y(j, 0);
+        const double dy = static_cast<double>(y(i, 1)) - y(j, 1);
+        const double v = 1.0 / (1.0 + dx * dx + dy * dy);
+        qnum[i * n + j] = v;
+        qnum[j * n + i] = v;
+        qsum += 2.0 * v;
+      }
+    }
+    const double inv_qsum = qsum > 0.0 ? 1.0 / qsum : 0.0;
+
+    for (size_t i = 0; i < n; ++i) {
+      double grad0 = 0.0, grad1 = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double num = qnum[i * n + j];
+        const double q = std::max(num * inv_qsum, 1e-12);
+        const double mult = (exaggeration * p[i * n + j] - q) * num;
+        grad0 += mult * (static_cast<double>(y(i, 0)) - y(j, 0));
+        grad1 += mult * (static_cast<double>(y(i, 1)) - y(j, 1));
+      }
+      for (int c = 0; c < 2; ++c) {
+        const double grad = 4.0 * (c == 0 ? grad0 : grad1);
+        const bool same_sign =
+            (grad > 0.0) == (velocity(i, c) > 0.0f);
+        gains(i, c) = std::max(
+            0.01f, same_sign ? gains(i, c) * 0.8f : gains(i, c) + 0.2f);
+        velocity(i, c) = static_cast<float>(
+            momentum * velocity(i, c) -
+            opts.learning_rate * gains(i, c) * grad);
+        y(i, c) += velocity(i, c);
+      }
+    }
+
+    // Re-center.
+    double mean0 = 0.0, mean1 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      mean0 += y(i, 0);
+      mean1 += y(i, 1);
+    }
+    mean0 /= static_cast<double>(n);
+    mean1 /= static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      y(i, 0) -= static_cast<float>(mean0);
+      y(i, 1) -= static_cast<float>(mean1);
+    }
+  }
+  return y;
+}
+
+}  // namespace splash

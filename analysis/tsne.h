@@ -1,0 +1,29 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Exact (O(n^2)) t-SNE for the Fig. 14 qualitative study. Intended for a
+// few hundred to a few thousand points.
+
+#ifndef SPLASH_ANALYSIS_TSNE_H_
+#define SPLASH_ANALYSIS_TSNE_H_
+
+#include <cstddef>
+
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace splash {
+
+struct TsneOptions {
+  size_t iterations = 500;
+  double perplexity = 30.0;
+  double learning_rate = 100.0;
+  size_t exaggeration_iters = 100;  // early exaggeration phase length
+  double exaggeration = 4.0;
+};
+
+/// Embeds the rows of `x` into 2-D. Returns an (n x 2) matrix.
+Matrix RunTsne(const Matrix& x, const TsneOptions& opts, Rng* rng);
+
+}  // namespace splash
+
+#endif  // SPLASH_ANALYSIS_TSNE_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "baselines/factory.h"
+
+#include "baselines/standins.h"
+
+namespace splash {
+
+StatusOr<std::unique_ptr<TemporalPredictor>> MakeBaseline(
+    const std::string& name, bool random_features,
+    const BaselineOptions& opts) {
+  if (name == "slade") {
+    SladeStandinOptions sopts;
+    sopts.k_recent = opts.k_recent;
+    sopts.seed = opts.seed;
+    return std::unique_ptr<TemporalPredictor>(
+        std::make_unique<SladeStandin>(sopts));
+  }
+
+  TgnnStandinOptions topts;
+  if (name == "jodie") {
+    topts.family = TgnnFamily::kJodie;
+  } else if (name == "dysat") {
+    topts.family = TgnnFamily::kDySat;
+  } else if (name == "tgat") {
+    topts.family = TgnnFamily::kTgat;
+  } else if (name == "tgn") {
+    topts.family = TgnnFamily::kTgn;
+  } else if (name == "graphmixer") {
+    topts.family = TgnnFamily::kGraphMixer;
+  } else if (name == "dygformer") {
+    topts.family = TgnnFamily::kDyGFormer;
+  } else {
+    return Status::Error("MakeBaseline: unknown baseline '" + name + "'");
+  }
+  topts.random_features = random_features;
+  topts.feature_dim = opts.node_feature_dim;
+  topts.hidden_dim = opts.hidden_dim;
+  topts.time_dim = opts.time_dim;
+  topts.k_recent = opts.k_recent;
+  topts.seed = opts.seed;
+  return std::unique_ptr<TemporalPredictor>(
+      std::make_unique<TgnnStandin>(topts));
+}
+
+}  // namespace splash

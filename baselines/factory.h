@@ -1,0 +1,33 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Name-based construction of the baseline model zoo.
+
+#ifndef SPLASH_BASELINES_FACTORY_H_
+#define SPLASH_BASELINES_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/predictor.h"
+#include "core/status.h"
+
+namespace splash {
+
+struct BaselineOptions {
+  size_t node_feature_dim = 32;
+  size_t hidden_dim = 64;
+  size_t time_dim = 16;
+  size_t k_recent = 10;
+  uint64_t seed = 4242;
+};
+
+/// Builds a baseline by lowercase name: "jodie", "dysat", "tgat", "tgn",
+/// "graphmixer", "dygformer", or "slade". `random_features` selects the
+/// "+RF" variant (ignored by slade). Unknown names yield an error status.
+StatusOr<std::unique_ptr<TemporalPredictor>> MakeBaseline(
+    const std::string& name, bool random_features,
+    const BaselineOptions& opts);
+
+}  // namespace splash
+
+#endif  // SPLASH_BASELINES_FACTORY_H_

@@ -73,8 +73,8 @@ int main() {
         FullTgnnSelection(ds, split, dims, epochs);
 
     std::printf("%-14s %14s %12.2f %16s %12.2f %9.1fx\n", name.c_str(),
-                ProcessName(linear.selected), linear.seconds,
-                ProcessName(full_pick), full_seconds,
+                ProcessName(linear.selected).c_str(), linear.seconds,
+                ProcessName(full_pick).c_str(), full_seconds,
                 linear.seconds > 0 ? full_seconds / linear.seconds : 0.0);
     std::fflush(stdout);
   }

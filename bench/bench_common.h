@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,12 +32,29 @@ inline double EnvDouble(const char* name, double fallback) {
   return v ? std::atof(v) : fallback;
 }
 
-/// Dataset scale for bench runs.
-inline double BenchScale() { return EnvDouble("SPLASH_BENCH_SCALE", 0.5); }
+/// Dataset scale for bench runs. Rejects non-positive values up front:
+/// MakeDataset would error and the benches dereference its result.
+inline double BenchScale() {
+  const double v = EnvDouble("SPLASH_BENCH_SCALE", 0.5);
+  if (v <= 0.0) {
+    std::fprintf(stderr, "SPLASH_BENCH_SCALE must be positive, got %g\n", v);
+    std::abort();
+  }
+  return v;
+}
 
-/// Training epochs for bench runs.
+/// Training epochs for bench runs. Rejects non-positive values: silently
+/// truncating e.g. SPLASH_BENCH_EPOCHS=0.5 to zero epochs would make every
+/// table report an untrained model.
 inline size_t BenchEpochs() {
-  return static_cast<size_t>(EnvDouble("SPLASH_BENCH_EPOCHS", 8));
+  const double v = EnvDouble("SPLASH_BENCH_EPOCHS", 8);
+  if (v < 1.0) {
+    std::fprintf(stderr,
+                 "SPLASH_BENCH_EPOCHS must be a positive integer, got %g\n",
+                 v);
+    std::abort();
+  }
+  return static_cast<size_t>(v);
 }
 
 /// Common model dimensions used across all bench comparisons so parameter
@@ -73,6 +91,11 @@ inline std::unique_ptr<TemporalPredictor> MakeBaselineModel(
   opts.k_recent = dims.k_recent;
   opts.seed = seed;
   auto model = MakeBaseline(base, random_features, opts);
+  if (!model.ok()) {
+    std::fprintf(stderr, "MakeBaselineModel(\"%s\"): %s\n", base.c_str(),
+                 model.status().ToString().c_str());
+    std::abort();
+  }
   return std::move(model).value();
 }
 

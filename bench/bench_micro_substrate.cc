@@ -13,8 +13,10 @@
 namespace splash {
 namespace {
 
+// Swept over node count: the O(1)-per-edge claim (Fig. 11) means these
+// times must stay flat (within cache noise) as n grows.
 void BM_NeighborMemoryObserve(benchmark::State& state) {
-  const size_t n = 10000;
+  const size_t n = static_cast<size_t>(state.range(0));
   NeighborMemory memory(10, n);
   Rng rng(1);
   double t = 0.0;
@@ -26,10 +28,14 @@ void BM_NeighborMemoryObserve(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_NeighborMemoryObserve);
+BENCHMARK(BM_NeighborMemoryObserve)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
 
 void BM_DegreeTrackerObserve(benchmark::State& state) {
-  const size_t n = 10000;
+  const size_t n = static_cast<size_t>(state.range(0));
   DegreeTracker tracker(n);
   Rng rng(2);
   double t = 0.0;
@@ -40,7 +46,11 @@ void BM_DegreeTrackerObserve(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_DegreeTrackerObserve);
+BENCHMARK(BM_DegreeTrackerObserve)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
 
 void BM_FeaturePropagationObserve(benchmark::State& state) {
   const size_t dv = state.range(0);

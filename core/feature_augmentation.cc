@@ -1,0 +1,249 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "core/feature_augmentation.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace splash {
+
+namespace {
+
+// Salts separating the hash-feature streams of the two propagated matrices.
+constexpr uint64_t kRandomSalt = 0x52414e44ULL;      // "RAND"
+constexpr uint64_t kPositionalSalt = 0x504f5349ULL;  // "POSI"
+
+}  // namespace
+
+FeatureAugmenter::FeatureAugmenter(const FeatureAugmenterOptions& opts)
+    : opts_(opts) {
+  scratch_a_.resize(opts_.feature_dim);
+  scratch_b_.resize(opts_.feature_dim);
+}
+
+void FeatureAugmenter::EnsureNodeCapacity(size_t n) {
+  if (n <= seen_.size()) return;
+  const size_t target = GrowCapacity(seen_.size(), n);
+  seen_.resize(target, 0);
+  prop_count_.resize(target, 0);
+  // Matrix::Resize does not preserve contents, so grow by copy. Growth is
+  // geometric; steady-state ObserveEdge never lands here.
+  auto grow = [&](Matrix* m) {
+    Matrix next(target, opts_.feature_dim);
+    const size_t old_rows = m->rows();
+    if (old_rows > 0) {
+      std::memcpy(next.data(), m->data(),
+                  old_rows * opts_.feature_dim * sizeof(float));
+    }
+    *m = std::move(next);
+  };
+  grow(&positional_);
+  grow(&random_seen_);
+  grow(&random_prop_);
+  grow(&positional_prop_);
+  degrees_.EnsureNodeCapacity(target);
+}
+
+void FeatureAugmenter::FitSeen(const EdgeStream& stream, double fit_time) {
+  EnsureNodeCapacity(stream.num_nodes());
+  std::fill(seen_.begin(), seen_.end(), uint8_t{0});
+
+  const size_t n_edges = stream.size();
+  const NodeId* src = stream.src_data();
+  const NodeId* dst = stream.dst_data();
+  const double* time = stream.time_data();
+  size_t fit_end = 0;
+  while (fit_end < n_edges && time[fit_end] <= fit_time) ++fit_end;
+  for (size_t i = 0; i < fit_end; ++i) {
+    seen_[src[i]] = 1;
+    seen_[dst[i]] = 1;
+  }
+
+  // Cache seen nodes' hash-Gaussian random features: one row fill at fit
+  // time instead of feature_dim hash evaluations per read on the hot path.
+  {
+    const size_t dim = opts_.feature_dim;
+    for (size_t v = 0; v < seen_.size(); ++v) {
+      float* row = random_seen_.Row(v);
+      if (!seen_[v]) {
+        std::memset(row, 0, dim * sizeof(float));
+        continue;
+      }
+      const uint64_t key = opts_.seed * 0x9e3779b97f4a7c15ULL + v;
+      for (size_t j = 0; j < dim; ++j) {
+        row[j] = HashGaussian((key << 8) ^ (kRandomSalt + j));
+      }
+    }
+  }
+
+  // Positional fit: hash-Gaussian init for seen nodes, then a few rounds of
+  // Laplacian smoothing along train edges. Nodes that interact often end up
+  // close — a cheap stand-in for node2vec that still reveals communities.
+  if (opts_.enable_positional) {
+    const size_t dim = opts_.feature_dim;
+    const float init_scale = 1.0f / std::sqrt(static_cast<float>(dim));
+    for (size_t v = 0; v < seen_.size(); ++v) {
+      float* row = positional_.Row(v);
+      if (!seen_[v]) {
+        std::memset(row, 0, dim * sizeof(float));
+        continue;
+      }
+      const uint64_t key = opts_.seed * 0x9e3779b97f4a7c15ULL + v;
+      for (size_t j = 0; j < dim; ++j) {
+        row[j] = init_scale * HashGaussian((key << 8) ^ (kPositionalSalt + j));
+      }
+    }
+    const float step = opts_.positional_step;
+    for (size_t round = 0; round < opts_.positional_rounds; ++round) {
+      for (size_t i = 0; i < fit_end; ++i) {
+        float* a = positional_.Row(src[i]);
+        float* b = positional_.Row(dst[i]);
+        for (size_t j = 0; j < dim; ++j) {
+          const float av = a[j], bv = b[j];
+          a[j] = av + step * (bv - av);
+          b[j] = bv + step * (av - bv);
+        }
+      }
+    }
+    // Smoothing drives every connected node toward the component mean;
+    // remove that common direction, then rescale rows, so what remains is
+    // the community-discriminative part.
+    std::vector<float> mean(dim, 0.0f);
+    size_t n_seen = 0;
+    for (size_t v = 0; v < seen_.size(); ++v) {
+      if (!seen_[v]) continue;
+      Axpy(1.0f, positional_.Row(v), mean.data(), dim);
+      ++n_seen;
+    }
+    if (n_seen > 0) {
+      const float inv_n = 1.0f / static_cast<float>(n_seen);
+      for (size_t j = 0; j < dim; ++j) mean[j] *= inv_n;
+    }
+    for (size_t v = 0; v < seen_.size(); ++v) {
+      if (!seen_[v]) continue;
+      float* row = positional_.Row(v);
+      float norm = 0.0f;
+      for (size_t j = 0; j < dim; ++j) {
+        row[j] -= mean[j];
+        norm += row[j] * row[j];
+      }
+      norm = std::sqrt(norm);
+      if (norm > 1e-12f) {
+        const float inv = 1.0f / norm;
+        for (size_t j = 0; j < dim; ++j) row[j] *= inv;
+      }
+    }
+  } else {
+    positional_.SetZero();
+  }
+
+  Reset();
+}
+
+void FeatureAugmenter::Reset() {
+  degrees_.Clear();
+  std::fill(prop_count_.begin(), prop_count_.end(), 0u);
+  random_prop_.SetZero();
+  positional_prop_.SetZero();
+}
+
+void FeatureAugmenter::WriteCurrent(const Matrix& m, uint64_t salt,
+                                    NodeId node, float* out) const {
+  const size_t dim = opts_.feature_dim;
+  if (node < seen_.size() && seen_[node]) {
+    const Matrix& fitted =
+        salt == kPositionalSalt ? positional_ : random_seen_;
+    std::memcpy(out, fitted.Row(node), dim * sizeof(float));
+    return;
+  }
+  // Unseen: current propagated estimate (zero until first incident edge).
+  if (node < m.rows()) {
+    std::memcpy(out, m.Row(node), dim * sizeof(float));
+  } else {
+    std::memset(out, 0, dim * sizeof(float));
+  }
+}
+
+void FeatureAugmenter::PropagateInto(Matrix* m, NodeId node,
+                                     const float* src_feat) {
+  // Eq. (4)-(5): x_v <- (c * x_v + x_u) / (c + 1) — running mean over the
+  // features of observed neighbors. Touches exactly one row.
+  const size_t dim = opts_.feature_dim;
+  const float c = static_cast<float>(prop_count_[node]);
+  const float inv = 1.0f / (c + 1.0f);
+  float* row = m->Row(node);
+  for (size_t j = 0; j < dim; ++j) row[j] = (c * row[j] + src_feat[j]) * inv;
+}
+
+void FeatureAugmenter::ObserveEdge(const TemporalEdge& e) {
+  const size_t hi = static_cast<size_t>(e.src > e.dst ? e.src : e.dst) + 1;
+  if (hi > seen_.size()) EnsureNodeCapacity(hi);
+  degrees_.Observe(e);
+
+  const bool src_unseen = !seen_[e.src];
+  const bool dst_unseen = !seen_[e.dst];
+  if (!src_unseen && !dst_unseen) return;  // steady state: counters only
+
+  // Propagate into each unseen endpoint from the other endpoint's *current*
+  // feature (fitted if seen, propagated estimate otherwise).
+  if (src_unseen) {
+    WriteCurrent(random_prop_, kRandomSalt, e.dst, scratch_a_.data());
+    PropagateInto(&random_prop_, e.src, scratch_a_.data());
+    if (opts_.enable_positional) {
+      WriteCurrent(positional_prop_, kPositionalSalt, e.dst,
+                   scratch_b_.data());
+      PropagateInto(&positional_prop_, e.src, scratch_b_.data());
+    }
+  }
+  if (dst_unseen) {
+    WriteCurrent(random_prop_, kRandomSalt, e.src, scratch_a_.data());
+    PropagateInto(&random_prop_, e.dst, scratch_a_.data());
+    if (opts_.enable_positional) {
+      WriteCurrent(positional_prop_, kPositionalSalt, e.src,
+                   scratch_b_.data());
+      PropagateInto(&positional_prop_, e.dst, scratch_b_.data());
+    }
+  }
+  if (src_unseen) ++prop_count_[e.src];
+  if (dst_unseen) ++prop_count_[e.dst];
+}
+
+void FeatureAugmenter::WriteFeature(AugmentationProcess process, NodeId node,
+                                    float* out) const {
+  switch (process) {
+    case AugmentationProcess::kRandom:
+      WriteCurrent(random_prop_, kRandomSalt, node, out);
+      return;
+    case AugmentationProcess::kPositional:
+      WriteCurrent(positional_prop_, kPositionalSalt, node, out);
+      return;
+    case AugmentationProcess::kStructural:
+      EncodeDegree(degrees_.Degree(node), out);
+      return;
+  }
+}
+
+void FeatureAugmenter::WritePlainRandom(NodeId node, float* out) const {
+  const size_t dim = opts_.feature_dim;
+  const uint64_t key = opts_.seed * 0x9e3779b97f4a7c15ULL + node;
+  for (size_t j = 0; j < dim; ++j) {
+    out[j] = HashGaussian((key << 8) ^ (kRandomSalt + j));
+  }
+}
+
+void FeatureAugmenter::EncodeDegree(size_t degree, float* out) const {
+  // Sinusoidal encoding of log(1 + degree) at geometrically spaced
+  // frequencies — nearby degrees get nearby codes, scale-free overall.
+  const size_t dim = opts_.feature_dim;
+  const float x = std::log1p(static_cast<float>(degree));
+  float freq = 1.0f;
+  for (size_t j = 0; j + 1 < dim; j += 2) {
+    const float a = x * freq;
+    out[j] = std::sin(a);
+    out[j + 1] = std::cos(a);
+    freq *= 0.6f;
+  }
+  if (dim % 2 == 1) out[dim - 1] = x * 0.1f;
+}
+
+}  // namespace splash

@@ -1,0 +1,116 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// SPLASH feature augmentation (paper Sec. IV-B): three processes that give
+// every node — including nodes unseen during training — an informative
+// feature vector at O(feature_dim) per edge:
+//
+//   R (random):     reproducible per-node Gaussian features. Seen nodes use
+//                   a stateless hash; unseen nodes receive the running mean
+//                   of their observed neighbors' features (Eq. (4)-(5)).
+//   P (positional): a community-revealing embedding fit on train edges by
+//                   Laplacian smoothing (a cheap node2vec stand-in), with
+//                   the same Eq. (4)-(5) propagation to unseen nodes.
+//   S (structural): sinusoidal encoding of the node's log temporal degree,
+//                   computable for any node at any time from DegreeTracker.
+//
+// Split of responsibilities:
+//   FitSeen(stream, t)  — one-time static fit on edges with time <= t
+//                         (seen set, positional embedding), then Reset().
+//   Reset()             — clears *dynamic* state (degrees, propagated rows)
+//                         so a replay can start from the beginning.
+//   ObserveEdge(e)      — per-edge dynamic update: degree counts + Eq.
+//                         (4)-(5) propagation. Touches only the two
+//                         incident rows; O(feature_dim), allocation-free.
+
+#ifndef SPLASH_CORE_FEATURE_AUGMENTATION_H_
+#define SPLASH_CORE_FEATURE_AUGMENTATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/degree_tracker.h"
+#include "graph/edge_stream.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace splash {
+
+struct FeatureAugmenterOptions {
+  size_t feature_dim = 32;
+  /// Disable to skip the positional fit (it is the only superlinear part of
+  /// FitSeen); WriteFeature(kPositional) then yields zeros for all nodes.
+  bool enable_positional = true;
+  /// Laplacian smoothing passes for the positional fit.
+  size_t positional_rounds = 3;
+  float positional_step = 0.35f;
+  uint64_t seed = 1234;
+};
+
+class FeatureAugmenter {
+ public:
+  explicit FeatureAugmenter(const FeatureAugmenterOptions& opts);
+
+  /// Fits static state on the train period (time <= fit_time) and resets
+  /// dynamic state. Nodes touched by a train-period edge form the "seen"
+  /// set; everything else is unseen and relies on propagation / structural
+  /// encoding at replay time.
+  void FitSeen(const EdgeStream& stream, double fit_time);
+
+  /// Clears dynamic state (degree counts, propagated unseen-node rows) while
+  /// keeping the fitted seen set and positional embedding.
+  void Reset();
+
+  /// Per-edge dynamic update; see file header. Call once per edge of a
+  /// replay, in stream order, including train-period edges.
+  void ObserveEdge(const TemporalEdge& e);
+
+  /// Writes the current `process` feature of `node` into out[0..dim).
+  void WriteFeature(AugmentationProcess process, NodeId node,
+                    float* out) const;
+
+  /// Plain (non-propagated) random feature: every node, seen or not, gets
+  /// its hash Gaussian. This is the "+RF" baseline input, not a SPLASH
+  /// process.
+  void WritePlainRandom(NodeId node, float* out) const;
+
+  /// Sinusoidal encoding of a degree value into out[0..dim). Exposed for
+  /// benchmarking and tests; WriteFeature(kStructural) composes this with
+  /// the live degree counter.
+  void EncodeDegree(size_t degree, float* out) const;
+
+  size_t feature_dim() const { return opts_.feature_dim; }
+  bool seen(NodeId node) const {
+    return node < seen_.size() && seen_[node] != 0;
+  }
+  const DegreeTracker& degrees() const { return degrees_; }
+
+ private:
+  void EnsureNodeCapacity(size_t n);
+  /// Writes the *current* propagated feature of `node` for matrix `m`
+  /// (random or positional) into out.
+  void WriteCurrent(const Matrix& m, uint64_t salt, NodeId node,
+                    float* out) const;
+  /// Eq. (4)-(5): fold `src_feat` into unseen `node`'s running-mean row of
+  /// matrix `m`.
+  void PropagateInto(Matrix* m, NodeId node, const float* src_feat);
+
+  FeatureAugmenterOptions opts_;
+  DegreeTracker degrees_;
+
+  std::vector<uint8_t> seen_;       // fitted: 1 if node has a train edge
+  Matrix positional_;               // fitted rows for seen nodes
+  Matrix random_seen_;              // fitted: cached hash rows, seen nodes
+  Matrix random_prop_;              // dynamic: propagated rows, unseen nodes
+  Matrix positional_prop_;          // dynamic: propagated rows, unseen nodes
+  std::vector<uint32_t> prop_count_;  // dynamic: Eq. (5) denominators
+
+  // Preallocated per-edge scratch (feature_dim each); ObserveEdge must not
+  // allocate.
+  std::vector<float> scratch_a_;
+  std::vector<float> scratch_b_;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_CORE_FEATURE_AUGMENTATION_H_

@@ -1,0 +1,146 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "core/feature_selection.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/timing.h"
+#include "graph/neighbor_memory.h"
+#include "tensor/matrix.h"
+
+namespace splash {
+
+namespace {
+
+constexpr AugmentationProcess kProcesses[3] = {
+    AugmentationProcess::kRandom, AugmentationProcess::kPositional,
+    AugmentationProcess::kStructural};
+
+}  // namespace
+
+FeatureSelectionResult SelectFeatureProcess(
+    const Dataset& ds, const ChronoSplit& split, FeatureAugmenter* augmenter,
+    const FeatureSelectionOptions& opts) {
+  WallTimer timer;
+  FeatureSelectionResult result;
+
+  // Count probe rows per split to pre-size matrices and pick strides.
+  size_t n_train = 0, n_val = 0;
+  for (const PropertyQuery& q : ds.queries) {
+    if (q.time <= split.train_end_time) {
+      ++n_train;
+    } else if (q.time <= split.val_end_time) {
+      ++n_val;
+    }
+  }
+  if (n_train == 0 || n_val == 0) {
+    result.seconds = timer.Seconds();
+    return result;  // structural fallback: computable for any node
+  }
+  const size_t train_stride =
+      std::max<size_t>(1, n_train / opts.max_rows_per_split);
+  const size_t val_stride =
+      std::max<size_t>(1, n_val / opts.max_rows_per_split);
+
+  const size_t dv = augmenter->feature_dim();
+  const size_t probe_dim = 2 * dv;  // [node feature || mean neighbor feature]
+  const size_t classes = std::max<size_t>(2, ds.num_classes);
+  const size_t k = std::max<size_t>(1, opts.k_recent);
+
+  Matrix ztr[3], zval[3];
+  for (int p = 0; p < 3; ++p) {
+    ztr[p] = Matrix(n_train / train_stride + 1, probe_dim);
+    zval[p] = Matrix(n_val / val_stride + 1, probe_dim);
+  }
+  std::vector<int> ytr, yval;
+
+  augmenter->Reset();
+  NeighborMemory memory(k, ds.stream.num_nodes());
+  std::vector<NodeId> nbr_ids(k);
+  std::vector<double> nbr_times(k);
+  std::vector<float> feat(dv);
+
+  size_t rows_tr = 0, rows_val = 0;
+  size_t seen_tr = 0, seen_val = 0;
+  auto emit_row = [&](const PropertyQuery& q, bool is_train) {
+    const size_t row = is_train ? rows_tr : rows_val;
+    const size_t count =
+        memory.GatherRecent(q.node, nbr_ids.data(), nbr_times.data());
+    for (int p = 0; p < 3; ++p) {
+      float* out = (is_train ? ztr[p] : zval[p]).Row(row);
+      augmenter->WriteFeature(kProcesses[p], q.node, out);
+      float* mean = out + dv;
+      std::memset(mean, 0, dv * sizeof(float));
+      if (count > 0) {
+        for (size_t j = 0; j < count; ++j) {
+          augmenter->WriteFeature(kProcesses[p], nbr_ids[j], feat.data());
+          Axpy(1.0f, feat.data(), mean, dv);
+        }
+        const float inv = 1.0f / static_cast<float>(count);
+        for (size_t t = 0; t < dv; ++t) mean[t] *= inv;
+      }
+    }
+    if (is_train) {
+      ytr.push_back(q.class_label);
+      ++rows_tr;
+    } else {
+      yval.push_back(q.class_label);
+      ++rows_val;
+    }
+  };
+
+  // One replay over train+val: answer queries with state-before, then
+  // observe the edge (the same protocol the trainer uses).
+  size_t qi = 0;
+  const size_t n_edges = ds.stream.size();
+  for (size_t i = 0; i <= n_edges; ++i) {
+    const double horizon =
+        i < n_edges ? ds.stream[i].time : split.val_end_time;
+    while (qi < ds.queries.size() && ds.queries[qi].time <= horizon) {
+      const PropertyQuery& q = ds.queries[qi++];
+      if (q.time <= split.train_end_time) {
+        if (seen_tr++ % train_stride == 0) emit_row(q, /*is_train=*/true);
+      } else if (q.time <= split.val_end_time) {
+        if (seen_val++ % val_stride == 0) emit_row(q, /*is_train=*/false);
+      }
+    }
+    if (i == n_edges || ds.stream[i].time > split.val_end_time) break;
+    augmenter->ObserveEdge(ds.stream[i]);
+    memory.Observe(ds.stream[i], i);
+  }
+
+  if (rows_tr == 0 || rows_val == 0) {
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  // One-hot targets shared by the three probes.
+  Matrix targets(rows_tr, classes);
+  for (size_t i = 0; i < rows_tr; ++i) {
+    const size_t label = std::min<size_t>(ytr[i], classes - 1);
+    targets(i, label) = 1.0f;
+  }
+
+  double best = -1.0;
+  for (int p = 0; p < 3; ++p) {
+    ztr[p].Resize(rows_tr, probe_dim);
+    zval[p].Resize(rows_val, probe_dim);
+    Matrix w;
+    if (!SolveRidge(ztr[p], targets, opts.ridge_lambda, &w)) continue;
+    Matrix scores(rows_val, classes);
+    MatMul(zval[p], w, &scores);
+    const double metric = TaskMetric(ds.task, scores, yval);
+    result.val_score[p] = metric;
+    if (metric > best) {
+      best = metric;
+      result.selected = kProcesses[p];
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace splash

@@ -1,0 +1,45 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// SPLASH's automatic feature-process selection (paper Sec. IV-C, App. I):
+// instead of training a full SLIM model per candidate process, fit a
+// closed-form ridge/linear probe on cheap per-query summaries ([node
+// feature || mean of k-recent neighbor features]) for each process, score
+// each probe on the validation period, and keep the winner. One stream
+// replay covers all three processes.
+
+#ifndef SPLASH_CORE_FEATURE_SELECTION_H_
+#define SPLASH_CORE_FEATURE_SELECTION_H_
+
+#include <cstddef>
+
+#include "core/feature_augmentation.h"
+#include "core/types.h"
+#include "datasets/dataset.h"
+
+namespace splash {
+
+struct FeatureSelectionOptions {
+  size_t k_recent = 10;
+  float ridge_lambda = 0.1f;
+  /// Probe rows are subsampled to at most this many per split so selection
+  /// cost stays bounded on large streams.
+  size_t max_rows_per_split = 4000;
+};
+
+struct FeatureSelectionResult {
+  AugmentationProcess selected = AugmentationProcess::kStructural;
+  double seconds = 0.0;
+  /// Validation score per process, indexed by AugmentationProcess value.
+  double val_score[3] = {0.0, 0.0, 0.0};
+};
+
+/// Replays the stream through `augmenter` (dynamic state is Reset() first
+/// and left at the validation boundary afterwards) and returns the probe
+/// winner. Falls back to kStructural when there is nothing to validate on.
+FeatureSelectionResult SelectFeatureProcess(
+    const Dataset& ds, const ChronoSplit& split, FeatureAugmenter* augmenter,
+    const FeatureSelectionOptions& opts);
+
+}  // namespace splash
+
+#endif  // SPLASH_CORE_FEATURE_SELECTION_H_

@@ -1,0 +1,272 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "core/slim.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace splash {
+
+namespace {
+
+constexpr float kAdamBeta1 = 0.9f;
+constexpr float kAdamBeta2 = 0.999f;
+constexpr float kAdamEps = 1e-8f;
+
+void InitParam(SlimModel* /*unused*/, Matrix* w, size_t fan_in, Rng* rng) {
+  // He init for the ReLU branches.
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  rng->FillGaussian(w->data(), w->size(), stddev);
+}
+
+}  // namespace
+
+SlimModel::SlimModel(const SlimOptions& opts, Rng* rng)
+    : opts_(opts), rng_(rng) {
+  const size_t dv = opts_.feature_dim, dt = opts_.time_dim,
+               h = opts_.hidden_dim, o = opts_.out_dim;
+  auto setup = [&](Param* p, size_t rows, size_t cols, size_t fan_in) {
+    p->w = Matrix(rows, cols);
+    if (fan_in > 0) InitParam(this, &p->w, fan_in, rng_);
+    p->grad = Matrix(rows, cols);
+    p->m = Matrix(rows, cols);
+    p->v = Matrix(rows, cols);
+  };
+  setup(&w1_, dv + dt, h, dv + dt);
+  setup(&b1_, 1, h, 0);
+  setup(&w2_, dv, h, dv);
+  setup(&b2_, 1, h, 0);
+  setup(&w3_, 2 * h, h, 2 * h);
+  setup(&b3_, 1, h, 0);
+  setup(&w4_, h, o, h);
+  setup(&b4_, 1, o, 0);
+}
+
+size_t SlimModel::ParamCount() const {
+  return w1_.w.size() + b1_.w.size() + w2_.w.size() + b2_.w.size() +
+         w3_.w.size() + b3_.w.size() + w4_.w.size() + b4_.w.size();
+}
+
+void SlimModel::EncodeTime(const std::vector<double>& deltas) {
+  // phi(dt)_j: sin/cos pairs of log-compressed dt at geometrically spaced
+  // frequencies (fixed, not learned — same family as the degree encoding).
+  const size_t dv = opts_.feature_dim, dt_dim = opts_.time_dim;
+  const size_t n = deltas.size();
+  for (size_t i = 0; i < n; ++i) {
+    float* row = cat1_.Row(i) + dv;
+    const float x = std::log1p(
+        static_cast<float>(deltas[i] < 0.0 ? 0.0 : deltas[i]));
+    float freq = 1.0f;
+    for (size_t j = 0; j + 1 < dt_dim; j += 2) {
+      const float a = x * freq;
+      row[j] = std::sin(a);
+      row[j + 1] = std::cos(a);
+      freq *= 0.5f;
+    }
+    if (dt_dim % 2 == 1) row[dt_dim - 1] = x * 0.1f;
+  }
+}
+
+void SlimModel::ForwardInternal(const SlimBatchInput& input) {
+  const size_t b = input.node_feats.rows();
+  const size_t k = opts_.k_recent, dv = opts_.feature_dim,
+               dt = opts_.time_dim, h = opts_.hidden_dim, o = opts_.out_dim;
+  const size_t bk = b * k;
+  assert(input.neighbor_feats.rows() == bk);
+  assert(input.neighbor_feats.cols() == dv);
+  assert(input.time_deltas.size() == bk);
+  assert(input.mask.rows() == b && input.mask.cols() == k);
+  assert(input.edge_weights.size() == bk);
+
+  // --- neighbor branch -----------------------------------------------------
+  cat1_.Resize(bk, dv + dt);
+  for (size_t i = 0; i < bk; ++i) {
+    std::memcpy(cat1_.Row(i), input.neighbor_feats.Row(i),
+                dv * sizeof(float));
+  }
+  EncodeTime(input.time_deltas);
+
+  msg_pre_.Resize(bk, h);
+  MatMul(cat1_, w1_.w, &msg_pre_);
+  AddRowVector(&msg_pre_, b1_.w.data());
+  ReluInPlace(&msg_pre_);
+
+  agg_.Resize(b, h);
+  agg_.SetZero();
+  inv_weight_.resize(b);
+  for (size_t bi = 0; bi < b; ++bi) {
+    float wsum = 0.0f;
+    float* arow = agg_.Row(bi);
+    const float* mrow = input.mask.Row(bi);
+    for (size_t j = 0; j < k; ++j) {
+      if (mrow[j] == 0.0f) continue;
+      const float w = input.edge_weights[bi * k + j];
+      wsum += w;
+      Axpy(w, msg_pre_.Row(bi * k + j), arow, h);
+    }
+    const float inv = wsum > 1e-12f ? 1.0f / wsum : 0.0f;
+    inv_weight_[bi] = inv;
+    for (size_t j = 0; j < h; ++j) arow[j] *= inv;
+  }
+
+  // --- self branch ---------------------------------------------------------
+  self_pre_.Resize(b, h);
+  MatMul(input.node_feats, w2_.w, &self_pre_);
+  AddRowVector(&self_pre_, b2_.w.data());
+  ReluInPlace(&self_pre_);
+
+  // --- head ----------------------------------------------------------------
+  cat2_.Resize(b, 2 * h);
+  for (size_t bi = 0; bi < b; ++bi) {
+    std::memcpy(cat2_.Row(bi), agg_.Row(bi), h * sizeof(float));
+    std::memcpy(cat2_.Row(bi) + h, self_pre_.Row(bi), h * sizeof(float));
+  }
+  h_pre_.Resize(b, h);
+  MatMul(cat2_, w3_.w, &h_pre_);
+  AddRowVector(&h_pre_, b3_.w.data());
+  ReluInPlace(&h_pre_);
+
+  if (training_ && opts_.dropout > 0.0f) {
+    drop_mask_.resize(b * h);
+    const float keep = 1.0f - opts_.dropout;
+    const float scale = 1.0f / keep;
+    float* p = h_pre_.data();
+    for (size_t i = 0; i < b * h; ++i) {
+      const bool kept = rng_->Uniform() < keep;
+      drop_mask_[i] = kept;
+      p[i] = kept ? p[i] * scale : 0.0f;
+    }
+  }
+
+  out_.Resize(b, o);
+  MatMul(h_pre_, w4_.w, &out_);
+  AddRowVector(&out_, b4_.w.data());
+}
+
+Matrix SlimModel::Forward(const SlimBatchInput& input) {
+  ForwardInternal(input);
+  return out_;
+}
+
+double SlimModel::TrainStep(const SlimBatchInput& input,
+                            const std::vector<int>& labels) {
+  ForwardInternal(input);
+  const size_t b = input.node_feats.rows();
+  const size_t k = opts_.k_recent, h = opts_.hidden_dim, o = opts_.out_dim;
+  assert(labels.size() == b);
+  if (b == 0) return 0.0;
+
+  // Softmax cross-entropy; d_out = (softmax - onehot) / B.
+  d_out_.Resize(b, o);
+  double loss = 0.0;
+  const float inv_b = 1.0f / static_cast<float>(b);
+  for (size_t bi = 0; bi < b; ++bi) {
+    const float* row = out_.Row(bi);
+    float mx = row[0];
+    for (size_t j = 1; j < o; ++j) mx = row[j] > mx ? row[j] : mx;
+    float sum = 0.0f;
+    float* drow = d_out_.Row(bi);
+    for (size_t j = 0; j < o; ++j) {
+      drow[j] = std::exp(row[j] - mx);
+      sum += drow[j];
+    }
+    const float inv_sum = 1.0f / sum;
+    const int label = labels[bi];
+    loss -= std::log(
+        static_cast<double>(drow[label] * inv_sum) + 1e-12);
+    for (size_t j = 0; j < o; ++j) {
+      drow[j] = (drow[j] * inv_sum -
+                 (static_cast<int>(j) == label ? 1.0f : 0.0f)) *
+                inv_b;
+    }
+  }
+
+  // Head.
+  MatMulTransA(h_pre_, d_out_, &w4_.grad);
+  ColumnSums(d_out_, b4_.grad.data());
+  d_h_.Resize(b, h);
+  MatMulTransB(d_out_, w4_.w, &d_h_);
+  if (training_ && opts_.dropout > 0.0f) {
+    const float scale = 1.0f / (1.0f - opts_.dropout);
+    float* p = d_h_.data();
+    for (size_t i = 0; i < b * h; ++i) {
+      p[i] = drop_mask_[i] ? p[i] * scale : 0.0f;
+    }
+  }
+  {
+    const float* act = h_pre_.data();
+    float* p = d_h_.data();
+    for (size_t i = 0; i < b * h; ++i) {
+      if (act[i] <= 0.0f) p[i] = 0.0f;
+    }
+  }
+  MatMulTransA(cat2_, d_h_, &w3_.grad);
+  ColumnSums(d_h_, b3_.grad.data());
+  d_cat2_.Resize(b, 2 * h);
+  MatMulTransB(d_h_, w3_.w, &d_cat2_);
+
+  // Self branch: d_self = d_cat2[:, h:] masked by ReLU.
+  d_self_.Resize(b, h);
+  for (size_t bi = 0; bi < b; ++bi) {
+    const float* src = d_cat2_.Row(bi) + h;
+    const float* act = self_pre_.Row(bi);
+    float* dst = d_self_.Row(bi);
+    for (size_t j = 0; j < h; ++j) dst[j] = act[j] > 0.0f ? src[j] : 0.0f;
+  }
+  MatMulTransA(input.node_feats, d_self_, &w2_.grad);
+  ColumnSums(d_self_, b2_.grad.data());
+
+  // Neighbor branch: distribute d_agg over messages with their mean
+  // weights, mask by ReLU.
+  d_msg_.Resize(b * k, h);
+  for (size_t bi = 0; bi < b; ++bi) {
+    const float* dagg = d_cat2_.Row(bi);  // first h columns
+    const float* mrow = input.mask.Row(bi);
+    const float inv = inv_weight_[bi];
+    for (size_t j = 0; j < k; ++j) {
+      float* drow = d_msg_.Row(bi * k + j);
+      if (mrow[j] == 0.0f || inv == 0.0f) {
+        std::memset(drow, 0, h * sizeof(float));
+        continue;
+      }
+      const float w = input.edge_weights[bi * k + j] * inv;
+      const float* act = msg_pre_.Row(bi * k + j);
+      for (size_t jj = 0; jj < h; ++jj) {
+        drow[jj] = act[jj] > 0.0f ? w * dagg[jj] : 0.0f;
+      }
+    }
+  }
+  MatMulTransA(cat1_, d_msg_, &w1_.grad);
+  ColumnSums(d_msg_, b1_.grad.data());
+
+  ++adam_t_;
+  AdamStep(&w1_);
+  AdamStep(&b1_);
+  AdamStep(&w2_);
+  AdamStep(&b2_);
+  AdamStep(&w3_);
+  AdamStep(&b3_);
+  AdamStep(&w4_);
+  AdamStep(&b4_);
+  return loss / static_cast<double>(b);
+}
+
+void SlimModel::AdamStep(Param* p) {
+  const size_t n = p->w.size();
+  float* w = p->w.data();
+  const float* g = p->grad.data();
+  float* m = p->m.data();
+  float* v = p->v.data();
+  const float t = static_cast<float>(adam_t_);
+  const float bias1 = 1.0f - std::pow(kAdamBeta1, t);
+  const float bias2 = 1.0f - std::pow(kAdamBeta2, t);
+  const float step = opts_.lr * std::sqrt(bias2) / bias1;
+  for (size_t i = 0; i < n; ++i) {
+    m[i] = kAdamBeta1 * m[i] + (1.0f - kAdamBeta1) * g[i];
+    v[i] = kAdamBeta2 * v[i] + (1.0f - kAdamBeta2) * g[i] * g[i];
+    w[i] -= step * m[i] / (std::sqrt(v[i]) + kAdamEps);
+  }
+}
+
+}  // namespace splash

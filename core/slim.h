@@ -1,0 +1,104 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// SLIM (paper Sec. IV-A): the deliberately small temporal model SPLASH
+// pairs with feature augmentation. Per query node it combines
+//   - the node's own augmented feature,
+//   - its k most recent neighbors' features, each tagged with a fixed
+//     sinusoidal encoding of the time delta,
+// through a two-branch MLP:
+//
+//   m_j  = relu([x_j || phi(dt_j)] W1 + b1)        per neighbor message
+//   agg  = masked weighted mean_j m_j              neighbor branch
+//   self = relu(x W2 + b2)                         self branch
+//   h    = relu([agg || self] W3 + b3)
+//   out  = h W4 + b4                               class scores
+//
+// Forward() assembles everything in preallocated scratch matrices (they
+// grow once to the largest batch and then stop allocating) and runs on the
+// blocked kernels from tensor/matrix.h. TrainStep() backpropagates by hand
+// and applies Adam — no autograd, no graph, no allocation after warm-up.
+
+#ifndef SPLASH_CORE_SLIM_H_
+#define SPLASH_CORE_SLIM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace splash {
+
+struct SlimOptions {
+  size_t feature_dim = 32;  // Dv: augmented node feature width
+  size_t time_dim = 16;     // Dt: time-delta encoding width
+  size_t hidden_dim = 64;   // H
+  size_t out_dim = 2;       // classes
+  size_t k_recent = 10;     // K: neighbors per query
+  float dropout = 0.1f;     // on h during training
+  float lr = 5e-3f;         // Adam step size
+};
+
+/// One batch of assembled inputs. Row b of node_feats is the query node;
+/// rows [b*K, (b+1)*K) of neighbor_feats are its gathered neighbors
+/// (newest first), with time_deltas / edge_weights parallel to them and
+/// mask(b, j) = 1 iff neighbor slot j is valid.
+struct SlimBatchInput {
+  Matrix node_feats;                // B x Dv
+  Matrix neighbor_feats;            // B*K x Dv
+  std::vector<double> time_deltas;  // B*K
+  Matrix mask;                      // B x K
+  std::vector<float> edge_weights;  // B*K
+};
+
+class SlimModel {
+ public:
+  SlimModel(const SlimOptions& opts, Rng* rng);
+
+  void SetTraining(bool training) { training_ = training; }
+
+  /// Batched forward pass; returns a B x out_dim score matrix.
+  Matrix Forward(const SlimBatchInput& input);
+
+  /// Forward + cross-entropy backward + Adam update. labels[b] in
+  /// [0, out_dim). Returns the mean batch loss.
+  double TrainStep(const SlimBatchInput& input,
+                   const std::vector<int>& labels);
+
+  size_t ParamCount() const;
+  const SlimOptions& options() const { return opts_; }
+
+ private:
+  struct Param {
+    Matrix w, grad, m, v;  // value, gradient, Adam moments
+  };
+
+  void ForwardInternal(const SlimBatchInput& input);
+  void EncodeTime(const std::vector<double>& deltas);
+  void AdamStep(Param* p);
+
+  SlimOptions opts_;
+  Rng* rng_;
+  bool training_ = false;
+  size_t adam_t_ = 0;
+
+  Param w1_, b1_, w2_, b2_, w3_, b3_, w4_, b4_;
+
+  // Forward scratch, kept across calls (grow-only).
+  Matrix cat1_;      // B*K x (Dv + Dt): [neighbor feat || time enc]
+  Matrix msg_pre_;   // B*K x H (pre-ReLU, reused as post-ReLU in place)
+  Matrix agg_;       // B x H
+  Matrix self_pre_;  // B x H
+  Matrix cat2_;      // B x 2H
+  Matrix h_pre_;     // B x H
+  Matrix out_;       // B x O
+  std::vector<float> inv_weight_;   // B: 1 / sum of valid edge weights
+  std::vector<uint8_t> drop_mask_;  // B*H during training
+
+  // Backward scratch.
+  Matrix d_out_, d_h_, d_cat2_, d_msg_, d_self_;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_CORE_SLIM_H_

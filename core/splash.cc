@@ -1,0 +1,180 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "core/splash.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace splash {
+
+std::string SplashModeName(SplashMode mode) {
+  switch (mode) {
+    case SplashMode::kAuto: return "SPLASH";
+    case SplashMode::kZeroFeatures: return "SLIM+ZF";
+    case SplashMode::kPlainRandom: return "SLIM+RF";
+    case SplashMode::kForceRandom: return "SPLASH-R";
+    case SplashMode::kForcePositional: return "SPLASH-P";
+    case SplashMode::kForceStructural: return "SPLASH-S";
+    case SplashMode::kJoint: return "SPLASH-RPS";
+  }
+  return "?";
+}
+
+SplashPredictor::SplashPredictor(const SplashOptions& opts)
+    : opts_(opts),
+      rng_(opts.seed),
+      augmenter_([&] {
+        FeatureAugmenterOptions a = opts.augment;
+        a.seed = opts.seed;
+        // Skip the positional fit when no mode can ever read it.
+        if (opts.mode == SplashMode::kZeroFeatures ||
+            opts.mode == SplashMode::kPlainRandom ||
+            opts.mode == SplashMode::kForceRandom ||
+            opts.mode == SplashMode::kForceStructural) {
+          a.enable_positional = false;
+        }
+        return a;
+      }()),
+      memory_(opts.slim.k_recent == 0 ? 1 : opts.slim.k_recent) {
+  nbr_ids_.resize(memory_.k());
+  nbr_times_.resize(memory_.k());
+}
+
+Status SplashPredictor::Prepare(const Dataset& ds, const ChronoSplit& split) {
+  if (ds.stream.empty()) {
+    return Status::Error("SplashPredictor::Prepare: empty stream");
+  }
+  augmenter_.FitSeen(ds.stream, split.train_end_time);
+
+  switch (opts_.mode) {
+    case SplashMode::kAuto: {
+      FeatureSelectionOptions sel = opts_.select;
+      sel.k_recent = opts_.slim.k_recent;
+      selected_ = SelectFeatureProcess(ds, split, &augmenter_, sel).selected;
+      augmenter_.Reset();
+      break;
+    }
+    case SplashMode::kForceRandom:
+      selected_ = AugmentationProcess::kRandom;
+      break;
+    case SplashMode::kForcePositional:
+      selected_ = AugmentationProcess::kPositional;
+      break;
+    case SplashMode::kForceStructural:
+    case SplashMode::kZeroFeatures:
+    case SplashMode::kPlainRandom:
+    case SplashMode::kJoint:
+      selected_ = AugmentationProcess::kStructural;
+      break;
+  }
+
+  const size_t dv = augmenter_.feature_dim();
+  input_dim_ = opts_.mode == SplashMode::kJoint ? 3 * dv : dv;
+
+  SlimOptions slim_opts = opts_.slim;
+  slim_opts.feature_dim = input_dim_;
+  slim_opts.k_recent = memory_.k();  // same clamp as the ring buffer
+  slim_opts.out_dim = std::max<size_t>(2, ds.num_classes);
+  slim_ = std::make_unique<SlimModel>(slim_opts, &rng_);
+
+  memory_.EnsureNodeCapacity(ds.stream.num_nodes());
+  ResetState();
+  return Status::Ok();
+}
+
+void SplashPredictor::ResetState() {
+  augmenter_.Reset();
+  memory_.Clear();
+}
+
+void SplashPredictor::ObserveEdge(const TemporalEdge& e, size_t edge_index) {
+  augmenter_.ObserveEdge(e);
+  memory_.Observe(e, edge_index);
+}
+
+void SplashPredictor::SetTraining(bool training) {
+  if (slim_) slim_->SetTraining(training);
+}
+
+size_t SplashPredictor::ParamCount() const {
+  return slim_ ? slim_->ParamCount() : 0;
+}
+
+void SplashPredictor::WriteNodeFeature(NodeId node, float* out) const {
+  const size_t dv = augmenter_.feature_dim();
+  switch (opts_.mode) {
+    case SplashMode::kZeroFeatures:
+      std::memset(out, 0, dv * sizeof(float));
+      return;
+    case SplashMode::kPlainRandom:
+      augmenter_.WritePlainRandom(node, out);
+      return;
+    case SplashMode::kJoint:
+      augmenter_.WriteFeature(AugmentationProcess::kRandom, node, out);
+      augmenter_.WriteFeature(AugmentationProcess::kPositional, node,
+                              out + dv);
+      augmenter_.WriteFeature(AugmentationProcess::kStructural, node,
+                              out + 2 * dv);
+      return;
+    default:
+      augmenter_.WriteFeature(selected_, node, out);
+      return;
+  }
+}
+
+void SplashPredictor::AssembleBatch(
+    const std::vector<PropertyQuery>& queries) {
+  const size_t b = queries.size();
+  const size_t k = memory_.k();
+  batch_.node_feats.Resize(b, input_dim_);
+  batch_.neighbor_feats.Resize(b * k, input_dim_);
+  batch_.time_deltas.resize(b * k);
+  batch_.mask.Resize(b, k);
+  batch_.edge_weights.resize(b * k);
+
+  for (size_t bi = 0; bi < b; ++bi) {
+    const PropertyQuery& q = queries[bi];
+    WriteNodeFeature(q.node, batch_.node_feats.Row(bi));
+    const size_t count =
+        memory_.GatherRecent(q.node, nbr_ids_.data(), nbr_times_.data());
+    float* mask_row = batch_.mask.Row(bi);
+    for (size_t j = 0; j < k; ++j) {
+      const size_t idx = bi * k + j;
+      if (j < count) {
+        WriteNodeFeature(nbr_ids_[j], batch_.neighbor_feats.Row(idx));
+        batch_.time_deltas[idx] = q.time - nbr_times_[j];
+        batch_.edge_weights[idx] = 1.0f;
+        mask_row[j] = 1.0f;
+      } else {
+        std::memset(batch_.neighbor_feats.Row(idx), 0,
+                    input_dim_ * sizeof(float));
+        batch_.time_deltas[idx] = 0.0;
+        batch_.edge_weights[idx] = 0.0f;
+        mask_row[j] = 0.0f;
+      }
+    }
+  }
+}
+
+Matrix SplashPredictor::PredictBatch(
+    const std::vector<PropertyQuery>& queries) {
+  if (!slim_ || queries.empty()) {
+    return Matrix(queries.size(), slim_ ? slim_->options().out_dim : 2);
+  }
+  AssembleBatch(queries);
+  return slim_->Forward(batch_);
+}
+
+double SplashPredictor::TrainBatch(
+    const std::vector<PropertyQuery>& queries) {
+  if (!slim_ || queries.empty()) return 0.0;
+  AssembleBatch(queries);
+  const int max_label = static_cast<int>(slim_->options().out_dim) - 1;
+  labels_.resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    labels_[i] = std::clamp(queries[i].class_label, 0, max_label);
+  }
+  return slim_->TrainStep(batch_, labels_);
+}
+
+}  // namespace splash

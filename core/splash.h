@@ -1,0 +1,85 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// SplashPredictor: the user-facing facade tying the pipeline together —
+// feature augmentation (core/feature_augmentation.h), automatic process
+// selection (core/feature_selection.h), k-recent neighbor memory
+// (graph/neighbor_memory.h), and the SLIM model (core/slim.h).
+//
+// The mode controls which features feed SLIM; kAuto is full SPLASH.
+
+#ifndef SPLASH_CORE_SPLASH_H_
+#define SPLASH_CORE_SPLASH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_augmentation.h"
+#include "core/feature_selection.h"
+#include "core/predictor.h"
+#include "core/slim.h"
+#include "graph/neighbor_memory.h"
+#include "tensor/rng.h"
+
+namespace splash {
+
+enum class SplashMode {
+  kAuto,             // full SPLASH: linear-probe selection among R/P/S
+  kZeroFeatures,     // SLIM+ZF ablation: all-zero node features
+  kPlainRandom,      // SLIM+RF ablation: hash random features, no Eq.(4)-(5)
+  kForceRandom,      // SPLASH pinned to the R process
+  kForcePositional,  // SPLASH pinned to the P process
+  kForceStructural,  // SPLASH pinned to the S process
+  kJoint,            // R, P and S concatenated
+};
+
+std::string SplashModeName(SplashMode mode);
+
+struct SplashOptions {
+  SplashMode mode = SplashMode::kAuto;
+  FeatureAugmenterOptions augment;
+  SlimOptions slim;
+  FeatureSelectionOptions select;
+  uint64_t seed = 777;
+};
+
+class SplashPredictor : public TemporalPredictor {
+ public:
+  explicit SplashPredictor(const SplashOptions& opts);
+
+  std::string name() const override { return SplashModeName(opts_.mode); }
+  Status Prepare(const Dataset& ds, const ChronoSplit& split) override;
+  void ResetState() override;
+  void ObserveEdge(const TemporalEdge& e, size_t edge_index) override;
+  Matrix PredictBatch(const std::vector<PropertyQuery>& queries) override;
+  double TrainBatch(const std::vector<PropertyQuery>& queries) override;
+  void SetTraining(bool training) override;
+  size_t ParamCount() const override;
+
+  /// The augmentation process kAuto picked in Prepare() (meaningful for
+  /// forced modes too: it mirrors the forced process).
+  AugmentationProcess selected_process() const { return selected_; }
+
+ private:
+  /// Writes the mode's SLIM input feature of `node` (input_dim_ floats).
+  void WriteNodeFeature(NodeId node, float* out) const;
+  void AssembleBatch(const std::vector<PropertyQuery>& queries);
+
+  SplashOptions opts_;
+  Rng rng_;
+  FeatureAugmenter augmenter_;
+  NeighborMemory memory_;
+  std::unique_ptr<SlimModel> slim_;
+  AugmentationProcess selected_ = AugmentationProcess::kStructural;
+  size_t input_dim_ = 0;
+
+  // Assembly scratch (grow-only, reused across batches).
+  SlimBatchInput batch_;
+  std::vector<int> labels_;
+  std::vector<NodeId> nbr_ids_;
+  std::vector<double> nbr_times_;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_CORE_SPLASH_H_

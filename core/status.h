@@ -1,0 +1,73 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Minimal Status / StatusOr used across the library. No exceptions on the
+// hot path: streaming calls return plain values; fallible construction and
+// parsing return Status / StatusOr.
+
+#ifndef SPLASH_CORE_STATUS_H_
+#define SPLASH_CORE_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace splash {
+
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const { return ok_ ? "OK" : message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Holds either a value or an error Status. `value()` asserts on error in
+/// debug builds; callers are expected to check `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)), has_value_(true) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(has_value_);
+    return value_;
+  }
+  T& value() & {
+    assert(has_value_);
+    return value_;
+  }
+  T&& value() && {
+    assert(has_value_);
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_CORE_STATUS_H_

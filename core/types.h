@@ -1,0 +1,94 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Plain-old-data types shared by every layer: node ids, temporal edges,
+// property queries, task kinds, chronological splits, and the feature
+// augmentation process enum from the paper (random / positional /
+// structural, Sec. IV-B).
+
+#ifndef SPLASH_CORE_TYPES_H_
+#define SPLASH_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace splash {
+
+/// Node identifier. 32-bit keeps the SoA edge stream and the neighbor-memory
+/// slab at half the footprint of size_t ids; 4B nodes is beyond every target
+/// workload.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Geometric capacity growth shared by every node-indexed container (ring
+/// slabs, counters, feature tables): power-of-two-ish doubling from a small
+/// floor keeps per-edge growth amortized O(1).
+inline size_t GrowCapacity(size_t current, size_t needed) {
+  size_t target = current < 16 ? 16 : current;
+  while (target < needed) target *= 2;
+  return target;
+}
+
+/// One event of the edge stream. Kept trivially copyable; the stream itself
+/// stores these as three parallel arrays (see graph/edge_stream.h).
+struct TemporalEdge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double time = 0.0;
+
+  TemporalEdge() = default;
+  TemporalEdge(NodeId s, NodeId d, double t) : src(s), dst(d), time(t) {}
+};
+
+/// Node property prediction task families from the paper (Sec. II).
+enum class TaskType {
+  kAnomalyDetection,    // binary, metric: AUC
+  kNodeClassification,  // multi-class, metric: F1-micro
+  kNodeAffinity,        // ranking over classes, metric: NDCG@10
+};
+
+inline std::string TaskName(TaskType t) {
+  switch (t) {
+    case TaskType::kAnomalyDetection: return "anomaly";
+    case TaskType::kNodeClassification: return "classification";
+    case TaskType::kNodeAffinity: return "affinity";
+  }
+  return "?";
+}
+
+/// One labeled query: "what is the property of `node` at `time`?"
+struct PropertyQuery {
+  NodeId node = kInvalidNode;
+  double time = 0.0;
+  int class_label = 0;  // anomaly: 0 normal / 1 abnormal; else class id
+};
+
+/// Chronological split boundaries (inclusive upper ends).
+/// train: time <= train_end_time
+/// val:   train_end_time < time <= val_end_time
+/// test:  time > val_end_time
+struct ChronoSplit {
+  double train_end_time = 0.0;
+  double val_end_time = 0.0;
+};
+
+/// The three feature augmentation processes of SPLASH (paper Sec. IV-B).
+enum class AugmentationProcess {
+  kRandom,      // R: per-node random features, propagated to unseen nodes
+  kPositional,  // P: community-revealing embedding, propagated to unseen
+  kStructural,  // S: temporal-degree encoding, computable for any node
+};
+
+inline std::string ProcessName(AugmentationProcess p) {
+  switch (p) {
+    case AugmentationProcess::kRandom: return "R";
+    case AugmentationProcess::kPositional: return "P";
+    case AugmentationProcess::kStructural: return "S";
+  }
+  return "?";
+}
+
+}  // namespace splash
+
+#endif  // SPLASH_CORE_TYPES_H_

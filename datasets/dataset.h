@@ -1,0 +1,28 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// A dataset is an edge stream plus time-interleaved labeled property
+// queries. Queries are sorted by time; replaying the stream and answering
+// queries as their times pass is the evaluation protocol (paper Sec. V-A).
+
+#ifndef SPLASH_DATASETS_DATASET_H_
+#define SPLASH_DATASETS_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/edge_stream.h"
+
+namespace splash {
+
+struct Dataset {
+  std::string name;
+  TaskType task = TaskType::kAnomalyDetection;
+  EdgeStream stream;
+  std::vector<PropertyQuery> queries;  // sorted by time
+  size_t num_classes = 2;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_DATASETS_DATASET_H_

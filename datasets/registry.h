@@ -1,0 +1,29 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Named dataset stand-ins mirroring the paper's seven benchmark streams
+// (Table II): Wikipedia / Reddit / MOOC (anomaly detection), Email-EU /
+// GDELT (node classification), tgbn-trade / tgbn-genre (node affinity).
+// Each is a seeded synthetic stream whose drift character follows the real
+// dataset's (see DESIGN.md §3); `scale` multiplies node and edge counts.
+
+#ifndef SPLASH_DATASETS_REGISTRY_H_
+#define SPLASH_DATASETS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "datasets/dataset.h"
+
+namespace splash {
+
+/// The seven standard stand-ins, in Table III column order.
+std::vector<std::string> StandardDatasetNames();
+
+/// Builds a registered dataset at the given scale (1.0 = base size).
+/// Returns an error for unknown names.
+StatusOr<Dataset> MakeDataset(const std::string& name, double scale);
+
+}  // namespace splash
+
+#endif  // SPLASH_DATASETS_REGISTRY_H_

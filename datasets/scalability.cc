@@ -1,0 +1,24 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "datasets/scalability.h"
+
+#include "datasets/synthetic.h"
+
+namespace splash {
+
+Dataset GenerateScalabilityStream(const ScalabilityOptions& opts) {
+  SyntheticConfig cfg;
+  cfg.name = "scalability";
+  cfg.task = TaskType::kAnomalyDetection;
+  cfg.num_nodes = opts.num_nodes;
+  cfg.num_edges = opts.num_edges;
+  cfg.num_communities = 8;
+  // Low query rate: Fig. 11 measures stream-processing cost, so edges must
+  // dominate queries.
+  cfg.query_rate = 0.05;
+  cfg.late_arrival_frac = 0.25;
+  cfg.seed = opts.seed;
+  return GenerateSynthetic(cfg);
+}
+
+}  // namespace splash

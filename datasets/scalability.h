@@ -1,0 +1,23 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Parameterized stream generator for the Fig. 11 scalability sweep: fixed
+// per-edge character, scalable node/edge counts.
+
+#ifndef SPLASH_DATASETS_SCALABILITY_H_
+#define SPLASH_DATASETS_SCALABILITY_H_
+
+#include "datasets/dataset.h"
+
+namespace splash {
+
+struct ScalabilityOptions {
+  size_t num_edges = 100000;
+  size_t num_nodes = 2000;
+  uint64_t seed = 11;
+};
+
+Dataset GenerateScalabilityStream(const ScalabilityOptions& opts);
+
+}  // namespace splash
+
+#endif  // SPLASH_DATASETS_SCALABILITY_H_

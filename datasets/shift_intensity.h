@@ -1,0 +1,20 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Synthetic-50/70/90 streams for Fig. 12: classification streams whose
+// test period contains `intensity`% late-arriving (unseen) query nodes and
+// proportional community migration at the train/test boundary.
+
+#ifndef SPLASH_DATASETS_SHIFT_INTENSITY_H_
+#define SPLASH_DATASETS_SHIFT_INTENSITY_H_
+
+#include "datasets/dataset.h"
+
+namespace splash {
+
+/// `intensity` is the paper's 50 / 70 / 90 knob (any value in [0, 100]
+/// works); `num_edges` sets the stream length.
+Dataset GenerateShiftIntensity(int intensity, size_t num_edges);
+
+}  // namespace splash
+
+#endif  // SPLASH_DATASETS_SHIFT_INTENSITY_H_

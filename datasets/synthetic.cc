@@ -1,0 +1,162 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "datasets/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace splash {
+
+namespace {
+
+// Anomalous states are assigned per (node, time-window) so an anomalous
+// node emits several cross-community edges in a row — detectable behavior,
+// not label noise.
+constexpr size_t kAnomalyWindows = 24;
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  Dataset ds;
+  ds.name = config.name;
+  ds.task = config.task;
+  ds.num_classes = config.task == TaskType::kAnomalyDetection
+                       ? 2
+                       : std::max<size_t>(2, config.num_communities);
+
+  const size_t n = std::max<size_t>(config.num_nodes, 16);
+  const size_t e = std::max<size_t>(config.num_edges, 64);
+  const size_t c = std::max<size_t>(config.num_communities, 2);
+  Rng rng(config.seed);
+
+  // Arrival position (fraction of the stream) per node. Early nodes are
+  // spread over the pre-`late_arrival_start` prefix so the stream has
+  // arrivals throughout; late nodes land in the tail and are unseen during
+  // training when late_arrival_start >= the train boundary.
+  std::vector<double> arrival(n);
+  const size_t num_late =
+      static_cast<size_t>(config.late_arrival_frac * static_cast<double>(n));
+  for (size_t v = 0; v < n; ++v) {
+    if (v < n - num_late) {
+      // Front-load early arrivals: most mass near 0 so the stream warms up.
+      arrival[v] = config.late_arrival_start * rng.Uniform() * rng.Uniform();
+    } else {
+      arrival[v] = config.late_arrival_start +
+                   (1.0 - config.late_arrival_start) * rng.Uniform();
+    }
+  }
+
+  // Community assignment, with optional migration at the boundary.
+  std::vector<uint16_t> community(n), community_late(n);
+  std::vector<uint8_t> migrates(n, 0);
+  for (size_t v = 0; v < n; ++v) {
+    community[v] = static_cast<uint16_t>(rng.UniformInt(c));
+    community_late[v] = community[v];
+    if (rng.Uniform() < config.migration_frac) {
+      migrates[v] = 1;
+      community_late[v] = static_cast<uint16_t>(rng.UniformInt(c));
+    }
+  }
+
+  // Activation order: nodes sorted by arrival, activated as time passes.
+  std::vector<NodeId> by_arrival(n);
+  for (size_t v = 0; v < n; ++v) by_arrival[v] = static_cast<NodeId>(v);
+  std::sort(by_arrival.begin(), by_arrival.end(),
+            [&](NodeId a, NodeId b) { return arrival[a] < arrival[b]; });
+
+  std::vector<std::vector<NodeId>> active_by_comm(c);
+  std::vector<NodeId> active;            // all activated nodes
+  std::vector<NodeId> endpoint_history;  // for preferential attachment
+  endpoint_history.reserve(2 * e);
+  size_t next_arrival = 0;
+  NodeId burst_src = kInvalidNode;
+
+  auto comm_at = [&](NodeId v, double pos) -> uint16_t {
+    return migrates[v] && pos >= config.migration_time_frac
+               ? community_late[v]
+               : community[v];
+  };
+  auto anomalous_at = [&](NodeId v, double pos) -> bool {
+    if (config.task != TaskType::kAnomalyDetection) return false;
+    const size_t window = static_cast<size_t>(pos * kAnomalyWindows);
+    const double rate =
+        config.anomaly_base_rate * (1.0 + config.anomaly_growth * pos);
+    const uint64_t h = SplitMix64(config.seed ^ (uint64_t{v} * kAnomalyWindows +
+                                                 window + 0x5eedULL));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < rate;
+  };
+
+  ds.stream.Reserve(e);
+  ds.stream.EnsureNodeCapacity(n);
+  for (size_t i = 0; i < e; ++i) {
+    const double pos = static_cast<double>(i) / static_cast<double>(e);
+    const double t =
+        static_cast<double>(e) * std::pow(pos, config.time_warp);
+    while (next_arrival < n && arrival[by_arrival[next_arrival]] <= pos) {
+      const NodeId v = by_arrival[next_arrival++];
+      active.push_back(v);
+      active_by_comm[comm_at(v, pos)].push_back(v);
+    }
+    if (active.size() < 2) {
+      // Bootstrap: activate the two earliest nodes.
+      while (active.size() < 2 && next_arrival < n) {
+        const NodeId v = by_arrival[next_arrival++];
+        active.push_back(v);
+        active_by_comm[comm_at(v, pos)].push_back(v);
+      }
+    }
+
+    // Source: an anomalous node keeps bursting (its observable signature:
+    // rapid-fire edges with scattered targets); otherwise preferential
+    // attachment over past endpoints, else uniform.
+    NodeId src;
+    if (burst_src != kInvalidNode && rng.Uniform() < 0.6) {
+      src = burst_src;
+    } else if (!endpoint_history.empty() &&
+               rng.Uniform() < config.pref_attach) {
+      src = endpoint_history[rng.UniformInt(endpoint_history.size())];
+    } else {
+      src = active[rng.UniformInt(active.size())];
+    }
+
+    // Destination: anomalous sources spray across communities; normal ones
+    // stay intra-community with probability intra_prob.
+    NodeId dst;
+    const bool src_anomalous = anomalous_at(src, pos);
+    burst_src = src_anomalous ? src : kInvalidNode;
+    if (src_anomalous || rng.Uniform() >= config.intra_prob) {
+      dst = active[rng.UniformInt(active.size())];
+    } else {
+      const auto& pool = active_by_comm[comm_at(src, pos)];
+      dst = pool.empty() ? active[rng.UniformInt(active.size())]
+                         : pool[rng.UniformInt(pool.size())];
+    }
+    if (dst == src) dst = active[rng.UniformInt(active.size())];
+
+    ds.stream.Append(TemporalEdge(src, dst, t)).ok();
+    endpoint_history.push_back(src);
+    endpoint_history.push_back(dst);
+
+    if (rng.Uniform() < config.query_rate) {
+      PropertyQuery q;
+      q.node = src;
+      q.time = t;
+      switch (config.task) {
+        case TaskType::kAnomalyDetection:
+          q.class_label = src_anomalous ? 1 : 0;
+          break;
+        case TaskType::kNodeClassification:
+        case TaskType::kNodeAffinity:
+          q.class_label = comm_at(src, pos);
+          break;
+      }
+      ds.queries.push_back(q);
+    }
+  }
+  return ds;
+}
+
+}  // namespace splash

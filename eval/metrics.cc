@@ -1,0 +1,147 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace splash {
+
+double AucScore(const std::vector<double>& scores,
+                const std::vector<int>& labels) {
+  const size_t n = scores.size();
+  size_t pos = 0;
+  for (int l : labels) pos += l != 0;
+  const size_t neg = n - pos;
+  if (pos == 0 || neg == 0) return 0.5;
+
+  // Rank-sum (Mann-Whitney) AUC with midranks for ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t t = i; t <= j; ++t) {
+      if (labels[order[t]] != 0) rank_sum_pos += midrank;
+    }
+    i = j + 1;
+  }
+  const double p = static_cast<double>(pos), q = static_cast<double>(neg);
+  return (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * q);
+}
+
+double F1Micro(const std::vector<int>& predicted,
+               const std::vector<int>& gold) {
+  if (predicted.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    correct += predicted[i] == gold[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+double NdcgAtK(const Matrix& scores, const std::vector<int>& labels,
+               size_t k) {
+  const size_t n = scores.rows(), c = scores.cols();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = scores.Row(i);
+    // Labels outside the score columns (dataset num_classes understating
+    // the query labels) count as not-retrievable rather than reading OOB.
+    if (labels[i] < 0 || static_cast<size_t>(labels[i]) >= c) continue;
+    const float target = row[labels[i]];
+    // Rank of the relevant class = 1 + number of classes scoring above it
+    // (ties broken against us, conservative).
+    size_t rank = 1;
+    for (size_t j = 0; j < c; ++j) {
+      if (static_cast<int>(j) != labels[i] && row[j] >= target) ++rank;
+    }
+    if (rank <= k) {
+      total += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+    }
+  }
+  // Ideal DCG is 1 (single relevant item at rank 1).
+  return total / static_cast<double>(n);
+}
+
+double TaskMetric(TaskType task, const Matrix& scores,
+                  const std::vector<int>& labels) {
+  const size_t n = scores.rows();
+  switch (task) {
+    case TaskType::kAnomalyDetection: {
+      std::vector<double> s(n);
+      for (size_t i = 0; i < n; ++i) {
+        s[i] = scores.cols() >= 2
+                   ? static_cast<double>(scores(i, 1)) - scores(i, 0)
+                   : scores(i, 0);
+      }
+      return AucScore(s, labels);
+    }
+    case TaskType::kNodeClassification: {
+      std::vector<int> pred(n);
+      for (size_t i = 0; i < n; ++i) {
+        const float* row = scores.Row(i);
+        size_t best = 0;
+        for (size_t j = 1; j < scores.cols(); ++j) {
+          if (row[j] > row[best]) best = j;
+        }
+        pred[i] = static_cast<int>(best);
+      }
+      return F1Micro(pred, labels);
+    }
+    case TaskType::kNodeAffinity:
+      return NdcgAtK(scores, labels, 10);
+  }
+  return 0.0;
+}
+
+double SilhouetteScore(const Matrix& points, const std::vector<int>& labels) {
+  const size_t n = points.rows(), d = points.cols();
+  if (n < 2) return 0.0;
+  int max_label = 0;
+  for (int l : labels) max_label = std::max(max_label, l);
+  const size_t c = static_cast<size_t>(max_label) + 1;
+  std::vector<size_t> cluster_size(c, 0);
+  for (int l : labels) ++cluster_size[l];
+
+  double total = 0.0;
+  size_t counted = 0;
+  std::vector<double> dist_sum(c);
+  for (size_t i = 0; i < n; ++i) {
+    if (cluster_size[labels[i]] < 2) continue;  // silhouette undefined
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    const float* pi = points.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const float* pj = points.Row(j);
+      double acc = 0.0;
+      for (size_t t = 0; t < d; ++t) {
+        const double diff = static_cast<double>(pi[t]) - pj[t];
+        acc += diff * diff;
+      }
+      dist_sum[labels[j]] += std::sqrt(acc);
+    }
+    const double a = dist_sum[labels[i]] /
+                     static_cast<double>(cluster_size[labels[i]] - 1);
+    double b = 1e300;
+    for (size_t l = 0; l < c; ++l) {
+      if (static_cast<int>(l) == labels[i] || cluster_size[l] == 0) continue;
+      b = std::min(b, dist_sum[l] / static_cast<double>(cluster_size[l]));
+    }
+    if (b >= 1e300) continue;  // single cluster overall
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace splash

@@ -1,0 +1,44 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Task metrics (paper Sec. V-A): AUC for anomaly detection, F1-micro for
+// node classification, NDCG@10 for node affinity — plus the silhouette
+// coefficient used by the Fig. 14 representation study.
+
+#ifndef SPLASH_EVAL_METRICS_H_
+#define SPLASH_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "tensor/matrix.h"
+
+namespace splash {
+
+/// Area under the ROC curve of `scores` against binary `labels` (1 =
+/// positive). Ties share rank. Returns 0.5 when one class is absent.
+double AucScore(const std::vector<double>& scores,
+                const std::vector<int>& labels);
+
+/// Micro-averaged F1 of predicted vs gold class ids. For single-label
+/// multi-class this equals accuracy; kept under its paper name.
+double F1Micro(const std::vector<int>& predicted,
+               const std::vector<int>& gold);
+
+/// Mean NDCG@k where row i of `scores` ranks the classes and `labels[i]`
+/// is the single relevant class.
+double NdcgAtK(const Matrix& scores, const std::vector<int>& labels,
+               size_t k);
+
+/// Dispatches to the task's metric. `scores` is (num_queries x num_classes);
+/// for anomaly detection the score of class 1 minus class 0 is used.
+double TaskMetric(TaskType task, const Matrix& scores,
+                  const std::vector<int>& labels);
+
+/// Mean silhouette coefficient of the rows of `points` under `labels`.
+/// O(n^2 d); intended for the small node sets of the qualitative studies.
+double SilhouetteScore(const Matrix& points, const std::vector<int>& labels);
+
+}  // namespace splash
+
+#endif  // SPLASH_EVAL_METRICS_H_

@@ -1,0 +1,31 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Wall-clock timing for benches and trainers.
+
+#ifndef SPLASH_EVAL_TIMING_H_
+#define SPLASH_EVAL_TIMING_H_
+
+#include <chrono>
+
+namespace splash {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_EVAL_TIMING_H_

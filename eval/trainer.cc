@@ -1,0 +1,145 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "eval/trainer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/timing.h"
+
+namespace splash {
+
+ChronoSplit MakeChronoSplit(const EdgeStream& stream, double val_frac,
+                            double test_frac) {
+  ChronoSplit split;
+  split.train_end_time = stream.TimeQuantile(1.0 - val_frac - test_frac);
+  split.val_end_time = stream.TimeQuantile(1.0 - test_frac);
+  return split;
+}
+
+FitResult StreamTrainer::Fit(TemporalPredictor* model, const Dataset& ds,
+                             const ChronoSplit& split) {
+  WallTimer timer;
+  FitResult result;
+  const size_t n_edges = ds.stream.size();
+
+  std::vector<PropertyQuery> train_batch, val_batch;
+  train_batch.reserve(opts_.batch_size);
+  val_batch.reserve(opts_.batch_size);
+
+  size_t epochs_since_best = 0;
+  for (size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    model->SetTraining(true);
+    model->ResetState();
+    train_batch.clear();
+    val_batch.clear();
+
+    Matrix val_scores;
+    std::vector<int> val_labels;
+    size_t val_rows = 0;
+    auto flush_train = [&] {
+      if (train_batch.empty()) return;
+      model->TrainBatch(train_batch);
+      train_batch.clear();
+    };
+    auto flush_val = [&] {
+      if (val_batch.empty()) return;
+      model->SetTraining(false);
+      const Matrix out = model->PredictBatch(val_batch);
+      model->SetTraining(true);
+      val_scores.Resize(val_rows + val_batch.size(), out.cols());
+      std::memcpy(val_scores.Row(val_rows), out.data(),
+                  out.size() * sizeof(float));
+      val_rows += val_batch.size();
+      for (const PropertyQuery& q : val_batch) {
+        val_labels.push_back(q.class_label);
+      }
+      val_batch.clear();
+    };
+
+    size_t qi = 0;
+    for (size_t i = 0; i <= n_edges; ++i) {
+      const double horizon =
+          i < n_edges ? ds.stream[i].time : split.val_end_time;
+      while (qi < ds.queries.size() && ds.queries[qi].time <= horizon) {
+        const PropertyQuery& q = ds.queries[qi++];
+        if (q.time <= split.train_end_time) {
+          train_batch.push_back(q);
+          if (train_batch.size() >= opts_.batch_size) flush_train();
+        } else if (q.time <= split.val_end_time) {
+          val_batch.push_back(q);
+          if (val_batch.size() >= opts_.batch_size) flush_val();
+        }
+      }
+      if (i == n_edges || ds.stream[i].time > split.val_end_time) break;
+      model->ObserveEdge(ds.stream[i], i);
+    }
+    flush_train();
+    flush_val();
+    ++result.epochs_run;
+
+    const double val_metric =
+        val_rows > 0 ? TaskMetric(ds.task, val_scores, val_labels) : 0.0;
+    if (epoch == 0 || val_metric > result.best_val_metric) {
+      result.best_val_metric = val_metric;
+      epochs_since_best = 0;
+    } else if (++epochs_since_best >= opts_.patience &&
+               opts_.early_stopping) {
+      break;
+    }
+  }
+  model->SetTraining(false);
+  result.train_seconds = timer.Seconds();
+  return result;
+}
+
+EvalResult StreamTrainer::Evaluate(TemporalPredictor* model,
+                                   const Dataset& ds,
+                                   const ChronoSplit& split) {
+  EvalResult result;
+  model->SetTraining(false);
+  model->ResetState();
+
+  const size_t n_edges = ds.stream.size();
+  std::vector<PropertyQuery> batch;
+  batch.reserve(opts_.batch_size);
+  Matrix scores;
+  std::vector<int> labels;
+  size_t rows = 0;
+
+  auto flush = [&] {
+    if (batch.empty()) return;
+    WallTimer predict_timer;
+    const Matrix out = model->PredictBatch(batch);
+    result.predict_seconds += predict_timer.Seconds();
+    scores.Resize(rows + batch.size(), out.cols());
+    std::memcpy(scores.Row(rows), out.data(), out.size() * sizeof(float));
+    rows += batch.size();
+    for (const PropertyQuery& q : batch) labels.push_back(q.class_label);
+    batch.clear();
+  };
+
+  size_t qi = 0;
+  for (size_t i = 0; i <= n_edges; ++i) {
+    const double horizon =
+        i < n_edges ? ds.stream[i].time : ds.stream.max_time() + 1.0;
+    while (qi < ds.queries.size() && ds.queries[qi].time <= horizon) {
+      const PropertyQuery& q = ds.queries[qi++];
+      if (q.time > split.val_end_time) {
+        batch.push_back(q);
+        if (batch.size() >= opts_.batch_size) flush();
+      }
+    }
+    if (i == n_edges) break;
+    model->ObserveEdge(ds.stream[i], i);
+  }
+  flush();
+
+  result.num_queries = rows;
+  result.metric = rows > 0 ? TaskMetric(ds.task, scores, labels) : 0.0;
+  return result;
+}
+
+}  // namespace splash

@@ -1,0 +1,43 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "graph/edge_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace splash {
+
+Status EdgeStream::Append(const TemporalEdge& e) {
+  if (e.src == kInvalidNode || e.dst == kInvalidNode) {
+    return Status::Error("EdgeStream::Append: invalid endpoint");
+  }
+  if (!std::isfinite(e.time)) {
+    return Status::Error("EdgeStream::Append: non-finite timestamp");
+  }
+  if (!time_.empty() && e.time < time_.back()) {
+    return Status::Error("EdgeStream::Append: timestamps must be "
+                         "non-decreasing (stream order)");
+  }
+  src_.push_back(e.src);
+  dst_.push_back(e.dst);
+  time_.push_back(e.time);
+  const size_t hi = static_cast<size_t>(std::max(e.src, e.dst)) + 1;
+  if (hi > num_nodes_) num_nodes_ = hi;
+  return Status::Ok();
+}
+
+void EdgeStream::Reserve(size_t n) {
+  src_.reserve(n);
+  dst_.reserve(n);
+  time_.reserve(n);
+}
+
+double EdgeStream::TimeQuantile(double frac) const {
+  if (time_.empty()) return 0.0;
+  frac = std::min(1.0, std::max(0.0, frac));
+  const size_t idx = static_cast<size_t>(
+      frac * static_cast<double>(time_.size() - 1));
+  return time_[idx];
+}
+
+}  // namespace splash

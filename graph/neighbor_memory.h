@@ -1,0 +1,101 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Fixed-capacity k-recent neighbor memory: one contiguous slab holding k
+// (neighbor id, time) slots per node, addressed as node * k + slot, with a
+// per-node ring head. Observe() is two ring writes — no pointers chased, no
+// heap allocation on the steady-state path. This is the structure behind the
+// paper's O(1)-per-edge update claim (Fig. 11); bench_micro_substrate gates
+// its flatness.
+
+#ifndef SPLASH_GRAPH_NEIGHBOR_MEMORY_H_
+#define SPLASH_GRAPH_NEIGHBOR_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace splash {
+
+class NeighborMemory {
+ public:
+  /// `k` is the per-node ring capacity; `num_nodes_hint` pre-sizes the slab
+  /// so the first edges do not pay growth cost.
+  explicit NeighborMemory(size_t k, size_t num_nodes_hint = 0)
+      : k_(k == 0 ? 1 : k) {
+    EnsureNodeCapacity(num_nodes_hint);
+  }
+
+  size_t k() const { return k_; }
+  size_t num_nodes() const { return counts_.size(); }
+
+  /// Grows the slab to cover node ids in [0, n). Geometric growth keeps the
+  /// amortized per-edge cost O(1) even when ids arrive unannounced.
+  void EnsureNodeCapacity(size_t n) {
+    if (n <= counts_.size()) return;
+    const size_t target = GrowCapacity(counts_.size(), n);
+    ids_.resize(target * k_, kInvalidNode);
+    times_.resize(target * k_, 0.0);
+    heads_.resize(target, 0);
+    counts_.resize(target, 0);
+  }
+
+  /// Records the edge in both endpoints' rings: dst becomes the most recent
+  /// neighbor of src and vice versa. `edge_index` is accepted for interface
+  /// stability with event-indexed memories; the ring stores (id, time) only.
+  void Observe(const TemporalEdge& e, size_t edge_index) {
+    (void)edge_index;
+    const size_t hi = static_cast<size_t>(e.src > e.dst ? e.src : e.dst) + 1;
+    if (hi > counts_.size()) EnsureNodeCapacity(hi);
+    Push(e.src, e.dst, e.time);
+    Push(e.dst, e.src, e.time);
+  }
+
+  /// Number of valid entries in `node`'s ring (<= k).
+  size_t CountOf(NodeId node) const {
+    return node < counts_.size() ? counts_[node] : 0;
+  }
+
+  /// Copies `node`'s neighbors newest-first into ids[0..count) and
+  /// times[0..count); returns count (<= k). Callers pass k-sized scratch.
+  size_t GatherRecent(NodeId node, NodeId* ids, double* times) const {
+    if (node >= counts_.size()) return 0;
+    const size_t count = counts_[node];
+    const size_t base = static_cast<size_t>(node) * k_;
+    size_t slot = heads_[node];  // next write position == oldest entry
+    for (size_t i = 0; i < count; ++i) {
+      // Walk backwards from the newest entry (head - 1).
+      slot = slot == 0 ? k_ - 1 : slot - 1;
+      ids[i] = ids_[base + slot];
+      times[i] = times_[base + slot];
+    }
+    return count;
+  }
+
+  /// Forgets everything but keeps the slab allocated.
+  void Clear() {
+    std::fill(heads_.begin(), heads_.end(), 0);
+    std::fill(counts_.begin(), counts_.end(), 0);
+  }
+
+ private:
+  void Push(NodeId node, NodeId neighbor, double time) {
+    const size_t base = static_cast<size_t>(node) * k_;
+    uint32_t& head = heads_[node];
+    ids_[base + head] = neighbor;
+    times_[base + head] = time;
+    head = head + 1 == k_ ? 0 : head + 1;
+    if (counts_[node] < k_) ++counts_[node];
+  }
+
+  size_t k_;
+  std::vector<NodeId> ids_;     // num_nodes * k slab
+  std::vector<double> times_;   // num_nodes * k slab
+  std::vector<uint32_t> heads_;  // per-node ring head (next write slot)
+  std::vector<uint32_t> counts_;  // per-node valid entries (<= k)
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_GRAPH_NEIGHBOR_MEMORY_H_

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds Release and snapshots the substrate microbenchmarks to
+# BENCH_micro.json at the repo root. Future perf PRs diff against this file
+# to prove hot-path regressions/improvements (see DESIGN.md §4).
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build-bench)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-bench}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_substrate
+
+"${build_dir}/bench_micro_substrate" \
+  --benchmark_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  > "${repo_root}/BENCH_micro.json"
+
+echo "wrote ${repo_root}/BENCH_micro.json"

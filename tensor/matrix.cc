@@ -1,0 +1,176 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Blocked dense kernels. The register-blocking constants were chosen for
+// the common shapes in this repo: tall-skinny activations (batch x ~32-128)
+// against small square-ish weight panels. Everything stays in L1/L2 for
+// those shapes; the blocking mostly buys locality at the larger batch*k
+// gather matrices.
+
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace splash {
+
+namespace {
+
+// Panel sizes: kBlockK * kBlockJ floats of `b` (64KiB at 128x128) stay hot
+// while a stripe of `a` streams through.
+constexpr size_t kBlockK = 128;
+constexpr size_t kBlockJ = 128;
+
+}  // namespace
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  assert(b.rows() == k);
+  assert(c->rows() == m && c->cols() == n);
+  if (!accumulate) std::memset(c->data(), 0, m * n * sizeof(float));
+  for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+    const size_t j1 = std::min(n, j0 + kBlockJ);
+    for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const size_t k1 = std::min(k, k0 + kBlockK);
+      for (size_t i = 0; i < m; ++i) {
+        const float* arow = a.Row(i);
+        float* crow = c->Row(i);
+        for (size_t kk = k0; kk < k1; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;  // masked/sparse rows are common
+          const float* brow = b.Row(kk);
+          // Unit-stride FMA over the output row: auto-vectorizes.
+          for (size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* c,
+                  bool accumulate) {
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  assert(b.cols() == k);
+  assert(c->rows() == m && c->cols() == n);
+  // Dot-product form: both operands are read with unit stride.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      size_t kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        acc0 += arow[kk] * brow[kk];
+        acc1 += arow[kk + 1] * brow[kk + 1];
+        acc2 += arow[kk + 2] * brow[kk + 2];
+        acc3 += arow[kk + 3] * brow[kk + 3];
+      }
+      float acc = (acc0 + acc1) + (acc2 + acc3);
+      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* c,
+                  bool accumulate) {
+  const size_t r = a.rows(), m = a.cols(), n = b.cols();
+  assert(b.rows() == r);
+  assert(c->rows() == m && c->cols() == n);
+  if (!accumulate) std::memset(c->data(), 0, m * n * sizeof(float));
+  // Rank-1 update per input row: c[i, :] += a(rr, i) * b(rr, :). The inner
+  // loop is again a unit-stride FMA over an output row.
+  for (size_t rr = 0; rr < r; ++rr) {
+    const float* arow = a.Row(rr);
+    const float* brow = b.Row(rr);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c->Row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddRowVector(Matrix* m, const float* bias) {
+  const size_t rows = m->rows(), cols = m->cols();
+  for (size_t i = 0; i < rows; ++i) {
+    float* row = m->Row(i);
+    for (size_t j = 0; j < cols; ++j) row[j] += bias[j];
+  }
+}
+
+void ReluInPlace(Matrix* m) {
+  float* p = m->data();
+  const size_t n = m->size();
+  for (size_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ColumnSums(const Matrix& m, float* out) {
+  const size_t rows = m.rows(), cols = m.cols();
+  std::memset(out, 0, cols * sizeof(float));
+  for (size_t i = 0; i < rows; ++i) {
+    const float* row = m.Row(i);
+    for (size_t j = 0; j < cols; ++j) out[j] += row[j];
+  }
+}
+
+bool SolveRidge(const Matrix& x, const Matrix& y, float lambda, Matrix* w) {
+  const size_t d = x.cols(), c = y.cols();
+  assert(x.rows() == y.rows());
+  Matrix gram(d, d);
+  MatMulTransA(x, x, &gram);
+  Matrix rhs(d, c);
+  MatMulTransA(x, y, &rhs);
+  for (size_t i = 0; i < d; ++i) gram(i, i) += lambda;
+
+  // In-place Cholesky gram = L L^T; retry with a boosted diagonal once if a
+  // pivot collapses (degenerate probe features).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Matrix l = gram;
+    bool ok = true;
+    for (size_t i = 0; i < d && ok; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        float sum = l(i, j);
+        for (size_t kk = 0; kk < j; ++kk) sum -= l(i, kk) * l(j, kk);
+        if (i == j) {
+          if (sum <= 1e-10f) {
+            ok = false;
+            break;
+          }
+          l(i, i) = std::sqrt(sum);
+        } else {
+          l(i, j) = sum / l(j, j);
+        }
+      }
+    }
+    if (!ok) {
+      for (size_t i = 0; i < d; ++i) gram(i, i) += 1e-2f + lambda;
+      continue;
+    }
+    // Forward/back substitution per output column.
+    w->Resize(d, c);
+    std::vector<float> zcol(d);
+    for (size_t col = 0; col < c; ++col) {
+      for (size_t i = 0; i < d; ++i) {
+        float sum = rhs(i, col);
+        for (size_t kk = 0; kk < i; ++kk) sum -= l(i, kk) * zcol[kk];
+        zcol[i] = sum / l(i, i);
+      }
+      for (size_t ii = d; ii-- > 0;) {
+        float sum = zcol[ii];
+        for (size_t kk = ii + 1; kk < d; ++kk) sum -= l(kk, ii) * (*w)(kk, col);
+        (*w)(ii, col) = sum / l(ii, ii);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace splash

@@ -1,0 +1,130 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Flat row-major float matrix plus the blocked dense kernels every model in
+// the repo runs on. Design rules (see DESIGN.md §2):
+//   - one contiguous allocation, row-major, no strides;
+//   - Resize() only ever grows the backing store, so scratch matrices that
+//     are reused across batches stop allocating after warm-up;
+//   - kernels are written so the inner loop is a unit-stride FMA over the
+//     output row (i-k-j order), which GCC/Clang auto-vectorize at -O3.
+
+#ifndef SPLASH_TENSOR_MATRIX_H_
+#define SPLASH_TENSOR_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace splash {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols) {
+    data_.resize(rows * cols, 0.0f);
+  }
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  static Matrix Ones(size_t rows, size_t cols) {
+    Matrix m(rows, cols);
+    m.Fill(1.0f);
+    return m;
+  }
+
+  static Matrix Gaussian(size_t rows, size_t cols, Rng* rng,
+                         float stddev = 1.0f) {
+    Matrix m(rows, cols);
+    rng->FillGaussian(m.data(), rows * cols, stddev);
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* Row(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Reshapes to rows x cols. The backing vector only grows (amortized) and
+  /// growth preserves existing contents, so with an unchanged column count
+  /// previously written rows stay intact — the trainers' score accumulators
+  /// rely on that. New cells are NOT zeroed; hot-path callers overwrite
+  /// every cell or call SetZero().
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    if (data_.size() < rows * cols) data_.resize(rows * cols);
+  }
+
+  void SetZero() { Fill(0.0f); }
+
+  void Fill(float v) {
+    float* p = data_.data();
+    const size_t n = rows_ * cols_;
+    for (size_t i = 0; i < n; ++i) p[i] = v;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---------------------------------------------------------------------------
+// Dense kernels (tensor/matrix.cc). All of them require the output to be
+// pre-sized by the caller; none of them allocate.
+// ---------------------------------------------------------------------------
+
+/// c = a * b (+ c if accumulate). a: MxK, b: KxN, c: MxN.
+void MatMul(const Matrix& a, const Matrix& b, Matrix* c,
+            bool accumulate = false);
+
+/// c = a * b^T (+ c if accumulate). a: MxK, b: NxK, c: MxN.
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* c,
+                  bool accumulate = false);
+
+/// c = a^T * b (+ c if accumulate). a: RxM, b: RxN, c: MxN.
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* c,
+                  bool accumulate = false);
+
+/// m[r, :] += bias for every row r. bias has m->cols() entries.
+void AddRowVector(Matrix* m, const float* bias);
+
+/// In-place ReLU.
+void ReluInPlace(Matrix* m);
+
+/// y[i] += alpha * x[i] for i in [0, n).
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// out[j] = sum_r m(r, j): column sums, out has m.cols() entries.
+void ColumnSums(const Matrix& m, float* out);
+
+/// Solves (x^T x + lambda I) w = x^T y for w (ridge regression) via
+/// Cholesky. x: NxD, y: NxC, w resized to DxC. Returns false if the normal
+/// matrix is not positive definite even after boosting the diagonal.
+bool SolveRidge(const Matrix& x, const Matrix& y, float lambda, Matrix* w);
+
+}  // namespace splash
+
+#endif  // SPLASH_TENSOR_MATRIX_H_

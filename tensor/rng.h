@@ -1,0 +1,103 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Deterministic, allocation-free random number generation: splitmix64 for
+// seeding/stateless hashing and xoshiro256++ for the main stream. Both are
+// a handful of ALU ops per draw — cheap enough for per-edge use.
+
+#ifndef SPLASH_TENSOR_RNG_H_
+#define SPLASH_TENSOR_RNG_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace splash {
+
+/// One splitmix64 step. Also usable as a stateless 64-bit mixer, which the
+/// feature augmenter relies on for reproducible per-node random features.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256++ seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(x += 0x9e3779b97f4a7c15ULL);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) {
+    // Multiply-shift (Lemire). Bias is < 2^-64 * n, irrelevant here.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * n) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal float via Box-Muller (one value cached).
+  float Gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = Uniform(), u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double a = 6.283185307179586 * u2;
+    cached_ = static_cast<float>(r * std::sin(a));
+    has_cached_ = true;
+    return static_cast<float>(r * std::cos(a));
+  }
+
+  /// Fills `p[0..n)` with N(0, stddev^2) draws.
+  void FillGaussian(float* p, size_t n, float stddev) {
+    for (size_t i = 0; i < n; ++i) p[i] = stddev * Gaussian();
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+/// Stateless standard-normal value derived from a 64-bit key. Used for
+/// reproducible per-(node, dim) random features without storing a matrix.
+inline float HashGaussian(uint64_t key) {
+  // Sum of two uniforms per Irwin-Hall would be crude; use one Box-Muller
+  // branch from two independent mixes of the key.
+  const uint64_t a = SplitMix64(key);
+  const uint64_t b = SplitMix64(key ^ 0xd1b54a32d192ed03ULL);
+  double u1 = static_cast<double>(a >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+  if (u1 < 1e-300) u1 = 1e-300;
+  return static_cast<float>(std::sqrt(-2.0 * std::log(u1)) *
+                            std::cos(6.283185307179586 * u2));
+}
+
+}  // namespace splash
+
+#endif  // SPLASH_TENSOR_RNG_H_

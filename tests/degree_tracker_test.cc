@@ -1,0 +1,44 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "graph/degree_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace splash {
+namespace {
+
+TEST(DegreeTrackerTest, CountsBothEndpoints) {
+  DegreeTracker tracker(4);
+  tracker.Observe(TemporalEdge(0, 1, 1.0));
+  tracker.Observe(TemporalEdge(0, 2, 2.0));
+  EXPECT_EQ(tracker.Degree(0), 2u);
+  EXPECT_EQ(tracker.Degree(1), 1u);
+  EXPECT_EQ(tracker.Degree(2), 1u);
+  EXPECT_EQ(tracker.Degree(3), 0u);
+  EXPECT_EQ(tracker.num_edges(), 2u);
+}
+
+TEST(DegreeTrackerTest, SelfLoopCountsTwice) {
+  DegreeTracker tracker(4);
+  tracker.Observe(TemporalEdge(1, 1, 1.0));
+  EXPECT_EQ(tracker.Degree(1), 2u);
+}
+
+TEST(DegreeTrackerTest, GrowsForUnannouncedIds) {
+  DegreeTracker tracker(2);
+  tracker.Observe(TemporalEdge(1000, 5, 1.0));
+  EXPECT_EQ(tracker.Degree(1000), 1u);
+  EXPECT_EQ(tracker.Degree(999), 0u);
+  EXPECT_EQ(tracker.Degree(2000), 0u);  // out-of-range reads are safe
+}
+
+TEST(DegreeTrackerTest, ClearResets) {
+  DegreeTracker tracker(4);
+  tracker.Observe(TemporalEdge(0, 1, 1.0));
+  tracker.Clear();
+  EXPECT_EQ(tracker.Degree(0), 0u);
+  EXPECT_EQ(tracker.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace splash

@@ -1,0 +1,98 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// EdgeStream SoA semantics, Append validation, TimeQuantile, and the
+// MakeChronoSplit boundary math the benches depend on.
+
+#include "graph/edge_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/trainer.h"
+
+namespace splash {
+namespace {
+
+TEST(EdgeStreamTest, AppendTracksNodesAndColumns) {
+  EdgeStream stream;
+  ASSERT_TRUE(stream.Append(TemporalEdge(3, 7, 1.0)).ok());
+  ASSERT_TRUE(stream.Append(TemporalEdge(2, 9, 2.5)).ok());
+  EXPECT_EQ(stream.size(), 2u);
+  EXPECT_EQ(stream.num_nodes(), 10u);  // max id + 1
+  EXPECT_EQ(stream[1].src, 2u);
+  EXPECT_EQ(stream[1].dst, 9u);
+  EXPECT_DOUBLE_EQ(stream[1].time, 2.5);
+  // SoA columns are the same data.
+  EXPECT_EQ(stream.src_data()[0], 3u);
+  EXPECT_EQ(stream.dst_data()[1], 9u);
+  EXPECT_DOUBLE_EQ(stream.time_data()[0], 1.0);
+}
+
+TEST(EdgeStreamTest, RejectsOutOfOrderAndInvalid) {
+  EdgeStream stream;
+  ASSERT_TRUE(stream.Append(TemporalEdge(0, 1, 5.0)).ok());
+  EXPECT_FALSE(stream.Append(TemporalEdge(0, 1, 4.0)).ok());  // back in time
+  EXPECT_TRUE(stream.Append(TemporalEdge(0, 1, 5.0)).ok());   // ties fine
+  EXPECT_FALSE(stream.Append(TemporalEdge(kInvalidNode, 1, 6.0)).ok());
+  EXPECT_EQ(stream.size(), 2u);
+}
+
+TEST(EdgeStreamTest, EnsureNodeCapacityOnlyGrows) {
+  EdgeStream stream;
+  stream.EnsureNodeCapacity(100);
+  EXPECT_EQ(stream.num_nodes(), 100u);
+  stream.EnsureNodeCapacity(50);
+  EXPECT_EQ(stream.num_nodes(), 100u);
+  ASSERT_TRUE(stream.Append(TemporalEdge(200, 1, 1.0)).ok());
+  EXPECT_EQ(stream.num_nodes(), 201u);
+}
+
+TEST(EdgeStreamTest, TimeQuantileBoundaries) {
+  EdgeStream stream;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        stream.Append(TemporalEdge(0, 1, static_cast<double>(i))).ok());
+  }
+  EXPECT_DOUBLE_EQ(stream.TimeQuantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(stream.TimeQuantile(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(stream.TimeQuantile(0.5), 4.0);  // floor((10-1)*0.5)
+  EXPECT_DOUBLE_EQ(stream.TimeQuantile(-3.0), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(stream.TimeQuantile(7.0), 9.0);   // clamped
+}
+
+TEST(EdgeStreamTest, MakeChronoSplitBoundaryMath) {
+  EdgeStream stream;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        stream.Append(TemporalEdge(0, 1, static_cast<double>(i))).ok());
+  }
+  const ChronoSplit split = MakeChronoSplit(stream, 0.1, 0.1);
+  // 80/10/10 by position: train ends at the 0.8 quantile.
+  EXPECT_DOUBLE_EQ(split.train_end_time, 79.0);
+  EXPECT_DOUBLE_EQ(split.val_end_time, 89.0);
+  // Period membership is (train_end, val_end] / (val_end, ...].
+  size_t train = 0, val = 0, test = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const double t = stream[i].time;
+    if (t <= split.train_end_time) {
+      ++train;
+    } else if (t <= split.val_end_time) {
+      ++val;
+    } else {
+      ++test;
+    }
+  }
+  EXPECT_EQ(train, 80u);
+  EXPECT_EQ(val, 10u);
+  EXPECT_EQ(test, 10u);
+}
+
+TEST(EdgeStreamTest, EmptyStreamDefaults) {
+  EdgeStream stream;
+  EXPECT_TRUE(stream.empty());
+  EXPECT_DOUBLE_EQ(stream.TimeQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(stream.min_time(), 0.0);
+  EXPECT_DOUBLE_EQ(stream.max_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace splash

@@ -1,0 +1,158 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// FeatureAugmenter: degree encoding, seen/unseen bookkeeping, and the
+// Eq. (4)-(5) unseen-node propagation semantics.
+
+#include "core/feature_augmentation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace splash {
+namespace {
+
+EdgeStream TrainStream() {
+  // Nodes 0..3 interact during the train period [0, 10].
+  EdgeStream s;
+  s.Append(TemporalEdge(0, 1, 1.0)).ok();
+  s.Append(TemporalEdge(1, 2, 2.0)).ok();
+  s.Append(TemporalEdge(2, 3, 3.0)).ok();
+  s.Append(TemporalEdge(0, 3, 4.0)).ok();
+  s.EnsureNodeCapacity(8);
+  return s;
+}
+
+TEST(FeatureAugmenterTest, EncodeDegreeIsDeterministicAndDiscriminative) {
+  FeatureAugmenterOptions opts;
+  opts.feature_dim = 16;
+  FeatureAugmenter augmenter(opts);
+  std::vector<float> a(16), b(16), c(16);
+  augmenter.EncodeDegree(5, a.data());
+  augmenter.EncodeDegree(5, b.data());
+  augmenter.EncodeDegree(500, c.data());
+  float same = 0.0f, diff = 0.0f;
+  for (size_t j = 0; j < 16; ++j) {
+    EXPECT_TRUE(std::isfinite(a[j]));
+    EXPECT_LE(std::fabs(a[j]), 1.0f + 1e-6f);
+    same += std::fabs(a[j] - b[j]);
+    diff += std::fabs(a[j] - c[j]);
+  }
+  EXPECT_FLOAT_EQ(same, 0.0f);
+  EXPECT_GT(diff, 0.1f);  // different degrees get different codes
+}
+
+TEST(FeatureAugmenterTest, FitSeenMarksTrainNodesOnly) {
+  FeatureAugmenterOptions opts;
+  opts.feature_dim = 8;
+  FeatureAugmenter augmenter(opts);
+  EdgeStream s = TrainStream();
+  s.Append(TemporalEdge(4, 5, 20.0)).ok();  // beyond fit time
+  augmenter.FitSeen(s, 10.0);
+  EXPECT_TRUE(augmenter.seen(0));
+  EXPECT_TRUE(augmenter.seen(3));
+  EXPECT_FALSE(augmenter.seen(4));
+  EXPECT_FALSE(augmenter.seen(5));
+}
+
+TEST(FeatureAugmenterTest, SeenRandomFeaturesAreStableNonzero) {
+  FeatureAugmenterOptions opts;
+  opts.feature_dim = 8;
+  FeatureAugmenter augmenter(opts);
+  const EdgeStream s = TrainStream();
+  augmenter.FitSeen(s, 10.0);
+  std::vector<float> f1(8), f2(8);
+  augmenter.WriteFeature(AugmentationProcess::kRandom, 1, f1.data());
+  augmenter.ObserveEdge(TemporalEdge(0, 1, 11.0));
+  augmenter.WriteFeature(AugmentationProcess::kRandom, 1, f2.data());
+  float norm = 0.0f, delta = 0.0f;
+  for (size_t j = 0; j < 8; ++j) {
+    norm += f1[j] * f1[j];
+    delta += std::fabs(f1[j] - f2[j]);
+  }
+  EXPECT_GT(norm, 0.0f);        // seen nodes have real features
+  EXPECT_FLOAT_EQ(delta, 0.0f);  // and observing edges never changes them
+}
+
+TEST(FeatureAugmenterTest, UnseenNodePropagationIsRunningNeighborMean) {
+  FeatureAugmenterOptions opts;
+  opts.feature_dim = 8;
+  FeatureAugmenter augmenter(opts);
+  const EdgeStream s = TrainStream();
+  augmenter.FitSeen(s, 10.0);
+
+  std::vector<float> f0(8), f1(8), unseen(8), expect(8);
+  augmenter.WriteFeature(AugmentationProcess::kRandom, 0, f0.data());
+  augmenter.WriteFeature(AugmentationProcess::kRandom, 1, f1.data());
+
+  // Unseen node 6 starts at zero...
+  augmenter.WriteFeature(AugmentationProcess::kRandom, 6, unseen.data());
+  for (float v : unseen) EXPECT_FLOAT_EQ(v, 0.0f);
+
+  // ...then becomes the mean of observed neighbors (Eq. (4)-(5)).
+  augmenter.ObserveEdge(TemporalEdge(6, 0, 11.0));
+  augmenter.WriteFeature(AugmentationProcess::kRandom, 6, unseen.data());
+  for (size_t j = 0; j < 8; ++j) EXPECT_NEAR(unseen[j], f0[j], 1e-5f);
+
+  augmenter.ObserveEdge(TemporalEdge(1, 6, 12.0));
+  augmenter.WriteFeature(AugmentationProcess::kRandom, 6, unseen.data());
+  for (size_t j = 0; j < 8; ++j) {
+    expect[j] = 0.5f * (f0[j] + f1[j]);
+    EXPECT_NEAR(unseen[j], expect[j], 1e-5f);
+  }
+
+  // Reset() forgets the propagation but keeps the seen set.
+  augmenter.Reset();
+  augmenter.WriteFeature(AugmentationProcess::kRandom, 6, unseen.data());
+  for (float v : unseen) EXPECT_FLOAT_EQ(v, 0.0f);
+  EXPECT_TRUE(augmenter.seen(0));
+}
+
+TEST(FeatureAugmenterTest, StructuralTracksLiveDegree) {
+  FeatureAugmenterOptions opts;
+  opts.feature_dim = 8;
+  FeatureAugmenter augmenter(opts);
+  const EdgeStream s = TrainStream();
+  augmenter.FitSeen(s, 10.0);  // dynamic state reset: degree 0 everywhere
+
+  std::vector<float> before(8), after(8), code0(8), code1(8);
+  augmenter.EncodeDegree(0, code0.data());
+  augmenter.EncodeDegree(1, code1.data());
+  augmenter.WriteFeature(AugmentationProcess::kStructural, 0, before.data());
+  for (size_t j = 0; j < 8; ++j) EXPECT_FLOAT_EQ(before[j], code0[j]);
+  augmenter.ObserveEdge(TemporalEdge(0, 1, 11.0));
+  augmenter.WriteFeature(AugmentationProcess::kStructural, 0, after.data());
+  for (size_t j = 0; j < 8; ++j) EXPECT_FLOAT_EQ(after[j], code1[j]);
+}
+
+TEST(FeatureAugmenterTest, PositionalPullsInteractingNodesTogether) {
+  FeatureAugmenterOptions opts;
+  opts.feature_dim = 8;
+  FeatureAugmenter augmenter(opts);
+  // Two cliques {0,1,2} and {3,4,5} with no cross edges.
+  EdgeStream s;
+  double t = 0.0;
+  for (int round = 0; round < 6; ++round) {
+    s.Append(TemporalEdge(0, 1, t += 1.0)).ok();
+    s.Append(TemporalEdge(1, 2, t += 1.0)).ok();
+    s.Append(TemporalEdge(0, 2, t += 1.0)).ok();
+    s.Append(TemporalEdge(3, 4, t += 1.0)).ok();
+    s.Append(TemporalEdge(4, 5, t += 1.0)).ok();
+    s.Append(TemporalEdge(3, 5, t += 1.0)).ok();
+  }
+  augmenter.FitSeen(s, t + 1.0);
+  std::vector<float> f0(8), f1(8), f3(8);
+  augmenter.WriteFeature(AugmentationProcess::kPositional, 0, f0.data());
+  augmenter.WriteFeature(AugmentationProcess::kPositional, 1, f1.data());
+  augmenter.WriteFeature(AugmentationProcess::kPositional, 3, f3.data());
+  float intra = 0.0f, inter = 0.0f;
+  for (size_t j = 0; j < 8; ++j) {
+    intra += (f0[j] - f1[j]) * (f0[j] - f1[j]);
+    inter += (f0[j] - f3[j]) * (f0[j] - f3[j]);
+  }
+  EXPECT_LT(intra, inter);  // same-community nodes are closer
+}
+
+}  // namespace
+}  // namespace splash

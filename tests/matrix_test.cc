@@ -1,0 +1,143 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Blocked kernels vs naive references, including shapes that are not
+// multiples of the blocking constants.
+
+#include "tensor/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.h"
+
+namespace splash {
+namespace {
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void ExpectNear(const Matrix& got, const Matrix& want, float tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (size_t i = 0; i < got.rows(); ++i) {
+    for (size_t j = 0; j < got.cols(); ++j) {
+      EXPECT_NEAR(got(i, j), want(i, j), tol) << "at (" << i << "," << j
+                                              << ")";
+    }
+  }
+}
+
+TEST(MatrixTest, MatMulMatchesNaiveAcrossShapes) {
+  Rng rng(1);
+  // Deliberately awkward shapes: smaller than, equal to, and straddling the
+  // 128-wide blocking panels.
+  const size_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 7}, {17, 128, 33}, {40, 130, 129}, {130, 64, 2}};
+  for (const auto& s : shapes) {
+    const Matrix a = Matrix::Gaussian(s[0], s[1], &rng);
+    const Matrix b = Matrix::Gaussian(s[1], s[2], &rng);
+    Matrix c(s[0], s[2]);
+    MatMul(a, b, &c);
+    ExpectNear(c, NaiveMatMul(a, b), 1e-3f);
+  }
+}
+
+TEST(MatrixTest, MatMulAccumulates) {
+  Rng rng(2);
+  const Matrix a = Matrix::Gaussian(4, 6, &rng);
+  const Matrix b = Matrix::Gaussian(6, 3, &rng);
+  Matrix c = Matrix::Ones(4, 3);
+  MatMul(a, b, &c, /*accumulate=*/true);
+  const Matrix ref = NaiveMatMul(a, b);
+  for (size_t i = 0; i < c.rows(); ++i) {
+    for (size_t j = 0; j < c.cols(); ++j) {
+      EXPECT_NEAR(c(i, j), ref(i, j) + 1.0f, 1e-4f);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposedVariantsMatchNaive) {
+  Rng rng(3);
+  const Matrix a = Matrix::Gaussian(9, 13, &rng);   // MxK
+  const Matrix bt = Matrix::Gaussian(11, 13, &rng);  // NxK
+  Matrix c(9, 11);
+  MatMulTransB(a, bt, &c);
+  for (size_t i = 0; i < 9; ++i) {
+    for (size_t j = 0; j < 11; ++j) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < 13; ++k) acc += a(i, k) * bt(j, k);
+      EXPECT_NEAR(c(i, j), acc, 1e-3f);
+    }
+  }
+
+  const Matrix at = Matrix::Gaussian(13, 9, &rng);  // RxM
+  const Matrix b = Matrix::Gaussian(13, 11, &rng);  // RxN
+  Matrix c2(9, 11);
+  MatMulTransA(at, b, &c2);
+  for (size_t i = 0; i < 9; ++i) {
+    for (size_t j = 0; j < 11; ++j) {
+      float acc = 0.0f;
+      for (size_t r = 0; r < 13; ++r) acc += at(r, i) * b(r, j);
+      EXPECT_NEAR(c2(i, j), acc, 1e-3f);
+    }
+  }
+}
+
+TEST(MatrixTest, RowOpsAndRelu) {
+  Matrix m(2, 3);
+  m(0, 0) = -1.0f;
+  m(0, 1) = 2.0f;
+  m(1, 2) = -5.0f;
+  const float bias[3] = {1.0f, 1.0f, 1.0f};
+  AddRowVector(&m, bias);
+  ReluInPlace(&m);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(m(1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 1.0f);
+
+  float sums[3];
+  ColumnSums(m, sums);
+  EXPECT_FLOAT_EQ(sums[0], m(0, 0) + m(1, 0));
+  EXPECT_FLOAT_EQ(sums[1], m(0, 1) + m(1, 1));
+}
+
+TEST(MatrixTest, ResizeIsGrowOnlyStorage) {
+  Matrix m(2, 2);
+  m(1, 1) = 7.0f;
+  const float* before = m.data();
+  m.Resize(1, 2);  // shrink view: no reallocation
+  EXPECT_EQ(m.data(), before);
+  m.Resize(2, 2);  // back within capacity: data still intact
+  EXPECT_EQ(m.data(), before);
+  EXPECT_FLOAT_EQ(m(1, 1), 7.0f);
+}
+
+TEST(MatrixTest, SolveRidgeRecoversLinearMap) {
+  Rng rng(4);
+  const size_t n = 200, d = 8, c = 3;
+  const Matrix x = Matrix::Gaussian(n, d, &rng);
+  const Matrix w_true = Matrix::Gaussian(d, c, &rng);
+  Matrix y(n, c);
+  MatMul(x, w_true, &y);
+  Matrix w;
+  ASSERT_TRUE(SolveRidge(x, y, 1e-4f, &w));
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < c; ++j) {
+      EXPECT_NEAR(w(i, j), w_true(i, j), 1e-2f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splash

@@ -1,0 +1,78 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace splash {
+namespace {
+
+TEST(MetricsTest, AucKnownValues) {
+  // Perfect separation.
+  EXPECT_DOUBLE_EQ(AucScore({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+  // Perfectly wrong.
+  EXPECT_DOUBLE_EQ(AucScore({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+  // One discordant pair out of four: AUC = 3/4.
+  EXPECT_DOUBLE_EQ(AucScore({0.1, 0.7, 0.4, 0.9}, {0, 0, 1, 1}), 0.75);
+  // Degenerate labels.
+  EXPECT_DOUBLE_EQ(AucScore({0.1, 0.2}, {0, 0}), 0.5);
+  // All-tied scores.
+  EXPECT_DOUBLE_EQ(AucScore({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(MetricsTest, F1Micro) {
+  EXPECT_DOUBLE_EQ(F1Micro({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(F1Micro({1, 2, 3, 0}, {1, 2, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(F1Micro({}, {}), 0.0);
+}
+
+TEST(MetricsTest, NdcgAtK) {
+  // Relevant class ranked 1st -> 1.0; ranked 2nd -> 1/log2(3).
+  Matrix scores(2, 3);
+  scores(0, 0) = 0.9f;
+  scores(0, 1) = 0.1f;
+  scores(0, 2) = 0.0f;
+  scores(1, 0) = 0.5f;
+  scores(1, 1) = 0.9f;
+  scores(1, 2) = 0.1f;
+  const double got = NdcgAtK(scores, {0, 0}, 10);
+  EXPECT_NEAR(got, 0.5 * (1.0 + 1.0 / std::log2(3.0)), 1e-9);
+  // Outside the cutoff contributes zero.
+  Matrix s2(1, 3);
+  s2(0, 0) = 0.0f;
+  s2(0, 1) = 0.5f;
+  s2(0, 2) = 0.9f;
+  EXPECT_DOUBLE_EQ(NdcgAtK(s2, {0}, 2), 0.0);
+}
+
+TEST(MetricsTest, TaskMetricDispatch) {
+  Matrix scores(2, 2);
+  scores(0, 0) = 1.0f;  // normal: score -1
+  scores(0, 1) = 0.0f;
+  scores(1, 0) = 0.0f;  // abnormal: score +1
+  scores(1, 1) = 1.0f;
+  EXPECT_DOUBLE_EQ(
+      TaskMetric(TaskType::kAnomalyDetection, scores, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      TaskMetric(TaskType::kNodeClassification, scores, {0, 1}), 1.0);
+}
+
+TEST(MetricsTest, SilhouetteSeparatedClusters) {
+  Matrix points(4, 2);
+  points(0, 0) = 0.0f;
+  points(1, 0) = 0.1f;
+  points(2, 0) = 10.0f;
+  points(3, 0) = 10.1f;
+  const double s = SilhouetteScore(points, {0, 0, 1, 1});
+  EXPECT_GT(s, 0.9);
+  // Interleaved clusters score poorly.
+  Matrix mixed(4, 1);
+  mixed(0, 0) = 0.0f;
+  mixed(1, 0) = 1.0f;
+  mixed(2, 0) = 0.1f;
+  mixed(3, 0) = 1.1f;
+  EXPECT_LT(SilhouetteScore(mixed, {0, 0, 1, 1}), 0.1);
+}
+
+}  // namespace
+}  // namespace splash
