@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "runtime/thread_pool.h"
+
 namespace splash {
 
 namespace {
@@ -47,8 +49,6 @@ TgnnStandin::TgnnStandin(const TgnnStandinOptions& opts)
             (opts.random_features ? "+RF" : "")),
       rng_(opts.seed),
       memory_(opts.k_recent == 0 ? 1 : opts.k_recent) {
-  nbr_ids_.resize(memory_.k());
-  nbr_times_.resize(memory_.k());
   mix_scratch_.resize(opts_.feature_dim);
 }
 
@@ -151,33 +151,50 @@ void TgnnStandin::AssembleBatch(const std::vector<PropertyQuery>& queries) {
   batch_.mask.Resize(b, k);
   batch_.edge_weights.resize(b * k);
 
-  const bool attention = IsAttentionFamily();
-  for (size_t bi = 0; bi < b; ++bi) {
-    const PropertyQuery& q = queries[bi];
-    WriteInput(q.node, batch_.node_feats.Row(bi));
-    const size_t count =
-        memory_.GatherRecent(q.node, nbr_ids_.data(), nbr_times_.data());
-    float* mask_row = batch_.mask.Row(bi);
-    for (size_t j = 0; j < k; ++j) {
-      const size_t idx = bi * k + j;
-      if (j < count) {
-        WriteInput(nbr_ids_[j], batch_.neighbor_feats.Row(idx));
-        const double dt = q.time - nbr_times_[j];
-        batch_.time_deltas[idx] = dt;
-        // Attention families favor recent partners; others average evenly.
-        batch_.edge_weights[idx] =
-            attention ? 1.0f / (1.0f + static_cast<float>(std::log1p(
-                                           dt < 0.0 ? 0.0 : dt)))
-                      : 1.0f;
-        mask_row[j] = 1.0f;
-      } else {
-        std::memset(batch_.neighbor_feats.Row(idx), 0, dv * sizeof(float));
-        batch_.time_deltas[idx] = 0.0;
-        batch_.edge_weights[idx] = 0.0f;
-        mask_row[j] = 0.0f;
-      }
+  ThreadPool* pool = ThreadPool::Global();
+  const size_t num_workers = pool->num_threads();
+  if (worker_nbr_ids_.size() < num_workers) {
+    worker_nbr_ids_.resize(num_workers);
+    worker_nbr_times_.resize(num_workers);
+  }
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (worker_nbr_ids_[w].size() < k) {
+      worker_nbr_ids_[w].resize(k);
+      worker_nbr_times_[w].resize(k);
     }
   }
+
+  const bool attention = IsAttentionFamily();
+  pool->ParallelFor(0, b, kBatchAssembleGrain, [&](size_t r0, size_t r1,
+                                                   size_t worker) {
+    NodeId* nbr_ids = worker_nbr_ids_[worker].data();
+    double* nbr_times = worker_nbr_times_[worker].data();
+    for (size_t bi = r0; bi < r1; ++bi) {
+      const PropertyQuery& q = queries[bi];
+      WriteInput(q.node, batch_.node_feats.Row(bi));
+      const size_t count = memory_.GatherRecent(q.node, nbr_ids, nbr_times);
+      float* mask_row = batch_.mask.Row(bi);
+      for (size_t j = 0; j < k; ++j) {
+        const size_t idx = bi * k + j;
+        if (j < count) {
+          WriteInput(nbr_ids[j], batch_.neighbor_feats.Row(idx));
+          const double dt = q.time - nbr_times[j];
+          batch_.time_deltas[idx] = dt;
+          // Attention families favor recent partners; others average evenly.
+          batch_.edge_weights[idx] =
+              attention ? 1.0f / (1.0f + static_cast<float>(std::log1p(
+                                             dt < 0.0 ? 0.0 : dt)))
+                        : 1.0f;
+          mask_row[j] = 1.0f;
+        } else {
+          std::memset(batch_.neighbor_feats.Row(idx), 0, dv * sizeof(float));
+          batch_.time_deltas[idx] = 0.0;
+          batch_.edge_weights[idx] = 0.0f;
+          mask_row[j] = 0.0f;
+        }
+      }
+    }
+  });
 }
 
 Matrix TgnnStandin::PredictBatch(const std::vector<PropertyQuery>& queries) {

@@ -1,13 +1,22 @@
 // Microbenchmarks (google-benchmark) for the streaming substrates: per-edge
 // costs of the neighbor memory, degree tracking, feature propagation, and a
-// SLIM forward pass — the constants behind the Fig. 11 linearity claim.
+// SLIM forward pass — the constants behind the Fig. 11 linearity claim —
+// plus the thread sweeps gating the runtime/ layer: SLIM TrainStep, the
+// full chronological replay, and sharded bulk ingest, each recorded at
+// threads=1 vs threads=N so BENCH_micro.json carries the speedup pair
+// (see DESIGN.md §4; on a single-core container the pair documents the
+// oversubscription overhead instead of a speedup).
 
 #include <benchmark/benchmark.h>
 
 #include "core/feature_augmentation.h"
 #include "core/slim.h"
+#include "core/splash.h"
+#include "datasets/scalability.h"
+#include "eval/trainer.h"
 #include "graph/degree_tracker.h"
 #include "graph/neighbor_memory.h"
+#include "runtime/thread_pool.h"
 #include "tensor/rng.h"
 
 namespace splash {
@@ -126,6 +135,92 @@ void BM_SlimForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_SlimForward)->Arg(1)->Arg(32)->Arg(256);
+
+// --- runtime/ thread sweeps (Arg = thread count) ---------------------------
+
+void BM_SlimTrainStepThreads(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  const size_t batch = 256;
+  SlimOptions opts;
+  opts.feature_dim = 32;
+  opts.time_dim = 16;
+  opts.hidden_dim = 64;
+  opts.out_dim = 2;
+  opts.k_recent = 10;
+  opts.dropout = 0.1f;
+  Rng rng(4);
+  SlimModel slim(opts, &rng);
+  slim.SetTraining(true);
+
+  SlimBatchInput input;
+  input.node_feats = Matrix::Gaussian(batch, 32, &rng);
+  input.neighbor_feats = Matrix::Gaussian(batch * 10, 32, &rng);
+  input.time_deltas.assign(batch * 10, 1.0);
+  input.mask = Matrix::Ones(batch, 10);
+  input.edge_weights.assign(batch * 10, 1.0f);
+  std::vector<int> labels(batch);
+  for (size_t i = 0; i < batch; ++i) labels[i] = static_cast<int>(i % 2);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slim.TrainStep(input, labels));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_SlimTrainStepThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ChronoReplayThreads(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  ScalabilityOptions sopts;
+  sopts.num_edges = 20000;
+  sopts.num_nodes = 1000;
+  const Dataset ds = GenerateScalabilityStream(sopts);
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.1, 0.1);
+
+  for (auto _ : state) {
+    SplashOptions opts;
+    opts.mode = SplashMode::kForceStructural;  // streaming-only features
+    opts.augment.feature_dim = 16;
+    opts.slim.hidden_dim = 32;
+    opts.slim.time_dim = 8;
+    SplashPredictor model(opts);
+    benchmark::DoNotOptimize(model.Prepare(ds, split).ok());
+    TrainerOptions topts;
+    topts.epochs = 1;
+    topts.early_stopping = false;
+    StreamTrainer trainer(topts);
+    trainer.Fit(&model, ds, split);
+    benchmark::DoNotOptimize(trainer.Evaluate(&model, ds, split).metric);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.stream.size());
+  ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_ChronoReplayThreads)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NeighborMemoryObserveBulkThreads(benchmark::State& state) {
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  const size_t n = 100000;
+  EdgeStream stream;
+  Rng rng(5);
+  double t = 0.0;
+  for (size_t i = 0; i < 100000; ++i) {
+    stream
+        .Append(TemporalEdge(static_cast<NodeId>(rng.UniformInt(n)),
+                             static_cast<NodeId>(rng.UniformInt(n)),
+                             t += 1.0))
+        .ok();
+  }
+  NeighborMemory memory(10, n);
+  for (auto _ : state) {
+    memory.ObserveBulk(stream, 0, stream.size());
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+  ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_NeighborMemoryObserveBulkThreads)->Arg(1)->Arg(4);
 
 }  // namespace
 }  // namespace splash

@@ -3,6 +3,7 @@
 #include "core/feature_selection.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -18,6 +19,68 @@ namespace {
 constexpr AugmentationProcess kProcesses[3] = {
     AugmentationProcess::kRandom, AugmentationProcess::kPositional,
     AugmentationProcess::kStructural};
+
+/// Standardizes both matrices column-wise with means/stds computed on
+/// `train` only. The three processes emit features at wildly different
+/// scales (degree encodings are bounded, propagated random rows are not),
+/// and a shared ridge lambda penalizes the large-scale process hardest —
+/// the root cause of probe mispicks like P over R on gdelt-s. After
+/// standardization the probes compete on structure, not scale.
+void StandardizeColumns(Matrix* train, Matrix* val) {
+  const size_t n = train->rows(), d = train->cols();
+  if (n == 0) return;
+  for (size_t j = 0; j < d; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i) mean += (*train)(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double c = (*train)(i, j) - mean;
+      var += c * c;
+    }
+    var /= static_cast<double>(n);
+    const float m = static_cast<float>(mean);
+    const float inv = static_cast<float>(1.0 / std::sqrt(var + 1e-8));
+    for (size_t i = 0; i < n; ++i) {
+      (*train)(i, j) = ((*train)(i, j) - m) * inv;
+    }
+    for (size_t i = 0; i < val->rows(); ++i) {
+      (*val)(i, j) = ((*val)(i, j) - m) * inv;
+    }
+  }
+}
+
+/// TaskMetric restricted to the given probe rows.
+double ScoreRows(TaskType task, const Matrix& scores,
+                 const std::vector<int>& yval,
+                 const std::vector<size_t>& rows) {
+  if (rows.empty()) return 0.0;
+  Matrix sub(rows.size(), scores.cols());
+  std::vector<int> labels(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::memcpy(sub.Row(i), scores.Row(rows[i]),
+                scores.cols() * sizeof(float));
+    labels[i] = yval[rows[i]];
+  }
+  return TaskMetric(task, sub, labels);
+}
+
+/// Silhouette of the val-period *node* features (first `dv` columns of the
+/// probe rows) under the query labels, subsampled to `max_rows`.
+double ValSilhouette(const Matrix& zval, const std::vector<int>& yval,
+                     size_t dv, size_t max_rows) {
+  const size_t n = zval.rows();
+  if (n < 2) return 0.0;
+  const size_t stride = std::max<size_t>(1, n / std::max<size_t>(1, max_rows));
+  const size_t rows = (n + stride - 1) / stride;
+  Matrix sub(rows, dv);
+  std::vector<int> labels(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    std::memcpy(sub.Row(r), zval.Row(r * stride), dv * sizeof(float));
+    labels[r] = std::max(0, yval[r * stride]);
+  }
+  return SilhouetteScore(sub, labels);
+}
 
 }  // namespace
 
@@ -56,6 +119,7 @@ FeatureSelectionResult SelectFeatureProcess(
     zval[p] = Matrix(n_val / val_stride + 1, probe_dim);
   }
   std::vector<int> ytr, yval;
+  std::vector<uint8_t> val_unseen;  // per val row: node had no train edge
 
   augmenter->Reset();
   NeighborMemory memory(k, ds.stream.num_nodes());
@@ -88,6 +152,7 @@ FeatureSelectionResult SelectFeatureProcess(
       ++rows_tr;
     } else {
       yval.push_back(q.class_label);
+      val_unseen.push_back(!augmenter->seen(q.node));
       ++rows_val;
     }
   };
@@ -124,20 +189,79 @@ FeatureSelectionResult SelectFeatureProcess(
     targets(i, label) = 1.0f;
   }
 
+  // Scoring windows: the late-val slice (shift grows with time) plus the
+  // unseen-node rows (where the processes actually differ, Fig. 9).
+  const double late_frac =
+      opts.late_val_frac <= 0.0
+          ? 1.0
+          : std::min(1.0, std::max(0.0, opts.late_val_frac));
+  size_t lo = rows_val -
+              static_cast<size_t>(late_frac * static_cast<double>(rows_val));
+  if (lo >= rows_val) lo = 0;
+  std::vector<size_t> late_rows, unseen_rows;
+  for (size_t i = lo; i < rows_val; ++i) late_rows.push_back(i);
+  for (size_t i = 0; i < rows_val; ++i) {
+    if (val_unseen[i]) unseen_rows.push_back(i);
+  }
+  // Too few unseen rows make that metric pure noise.
+  const bool use_unseen = opts.unseen_weight > 0.0 && unseen_rows.size() >= 16;
+
   double best = -1.0;
+  bool probe_ok[3] = {false, false, false};
   for (int p = 0; p < 3; ++p) {
     ztr[p].Resize(rows_tr, probe_dim);
     zval[p].Resize(rows_val, probe_dim);
+    StandardizeColumns(&ztr[p], &zval[p]);
     Matrix w;
     if (!SolveRidge(ztr[p], targets, opts.ridge_lambda, &w)) continue;
     Matrix scores(rows_val, classes);
     MatMul(zval[p], w, &scores);
-    const double metric = TaskMetric(ds.task, scores, yval);
+    double metric = ScoreRows(ds.task, scores, yval, late_rows);
+    if (use_unseen) {
+      metric = (metric + opts.unseen_weight *
+                             ScoreRows(ds.task, scores, yval, unseen_rows)) /
+               (1.0 + opts.unseen_weight);
+    }
+    // Train->late-val drift: columns are train-standardized, so any
+    // nonzero late-val column mean is distributional movement.
+    {
+      double drift = 0.0;
+      for (size_t j = 0; j < probe_dim; ++j) {
+        double mean = 0.0;
+        for (size_t i : late_rows) mean += zval[p](i, j);
+        drift += std::fabs(mean / static_cast<double>(late_rows.size()));
+      }
+      result.drift[p] = drift / static_cast<double>(probe_dim);
+      metric -= opts.drift_penalty * result.drift[p];
+    }
+    probe_ok[p] = true;
     result.val_score[p] = metric;
     if (metric > best) {
       best = metric;
       result.selected = kProcesses[p];
     }
+  }
+
+  // Near-ties between probe metrics are inside the ridge fit's noise; let
+  // the val-period cluster structure of the node features decide instead.
+  int num_tied = 0;
+  for (int p = 0; p < 3; ++p) {
+    num_tied += probe_ok[p] && best - result.val_score[p] <= opts.tie_epsilon;
+  }
+  if (num_tied > 1) {
+    double best_sil = -2.0;
+    for (int p = 0; p < 3; ++p) {
+      if (!probe_ok[p] || best - result.val_score[p] > opts.tie_epsilon) {
+        continue;
+      }
+      result.silhouette[p] =
+          ValSilhouette(zval[p], yval, dv, opts.silhouette_max_rows);
+      if (result.silhouette[p] > best_sil) {
+        best_sil = result.silhouette[p];
+        result.selected = kProcesses[p];
+      }
+    }
+    result.tie_broken = true;
   }
   result.seconds = timer.Seconds();
   return result;

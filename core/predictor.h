@@ -28,6 +28,13 @@
 
 namespace splash {
 
+/// Queries per ParallelFor chunk when a predictor assembles its SLIM batch
+/// on the runtime/ ThreadPool (each row costs O((k+1) * dv) feature
+/// writes, so a few dozen rows amortize the dispatch). Shared by
+/// SplashPredictor and the baseline stand-ins so their assembly chunking
+/// never diverges.
+inline constexpr size_t kBatchAssembleGrain = 32;
+
 class TemporalPredictor {
  public:
   virtual ~TemporalPredictor() = default;

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "runtime/thread_pool.h"
+
 namespace splash {
 
 namespace {
@@ -13,6 +15,11 @@ namespace {
 constexpr float kAdamBeta1 = 0.9f;
 constexpr float kAdamBeta2 = 0.999f;
 constexpr float kAdamEps = 1e-8f;
+
+// Batch rows per parallel chunk. Fixed (not thread-count derived) so chunk
+// boundaries — and with them the per-chunk dropout streams — are the same
+// at 2, 4, or 64 threads.
+constexpr size_t kBatchGrain = 32;
 
 void InitParam(SlimModel* /*unused*/, Matrix* w, size_t fan_in, Rng* rng) {
   // He init for the ReLU branches.
@@ -48,12 +55,28 @@ size_t SlimModel::ParamCount() const {
          w3_.w.size() + b3_.w.size() + w4_.w.size() + b4_.w.size();
 }
 
-void SlimModel::EncodeTime(const std::vector<double>& deltas) {
+SlimModel::GradRefs SlimModel::MainGradRefs() {
+  return GradRefs{{&w1_.grad, &b1_.grad, &w2_.grad, &b2_.grad, &w3_.grad,
+                   &b3_.grad, &w4_.grad, &b4_.grad}};
+}
+
+void SlimModel::EnsureWorkerScratch(size_t num_workers) {
+  if (worker_grads_.size() < num_workers) worker_grads_.resize(num_workers);
+  const Matrix* shapes[kNumParams] = {&w1_.w, &b1_.w, &w2_.w, &b2_.w,
+                                      &w3_.w, &b3_.w, &w4_.w, &b4_.w};
+  for (GradScratch& ws : worker_grads_) {
+    for (size_t p = 0; p < kNumParams; ++p) {
+      ws.g[p].Resize(shapes[p]->rows(), shapes[p]->cols());
+    }
+  }
+}
+
+void SlimModel::EncodeTime(const std::vector<double>& deltas, size_t i0,
+                           size_t i1) {
   // phi(dt)_j: sin/cos pairs of log-compressed dt at geometrically spaced
   // frequencies (fixed, not learned — same family as the degree encoding).
   const size_t dv = opts_.feature_dim, dt_dim = opts_.time_dim;
-  const size_t n = deltas.size();
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = i0; i < i1; ++i) {
     float* row = cat1_.Row(i) + dv;
     const float x = std::log1p(
         static_cast<float>(deltas[i] < 0.0 ? 0.0 : deltas[i]));
@@ -68,36 +91,55 @@ void SlimModel::EncodeTime(const std::vector<double>& deltas) {
   }
 }
 
-void SlimModel::ForwardInternal(const SlimBatchInput& input) {
-  const size_t b = input.node_feats.rows();
+void SlimModel::ResizeScratch(size_t b, bool for_training) {
   const size_t k = opts_.k_recent, dv = opts_.feature_dim,
                dt = opts_.time_dim, h = opts_.hidden_dim, o = opts_.out_dim;
   const size_t bk = b * k;
-  assert(input.neighbor_feats.rows() == bk);
-  assert(input.neighbor_feats.cols() == dv);
-  assert(input.time_deltas.size() == bk);
-  assert(input.mask.rows() == b && input.mask.cols() == k);
-  assert(input.edge_weights.size() == bk);
+  cat1_.Resize(bk, dv + dt);
+  msg_pre_.Resize(bk, h);
+  agg_.Resize(b, h);
+  self_pre_.Resize(b, h);
+  cat2_.Resize(b, 2 * h);
+  h_pre_.Resize(b, h);
+  out_.Resize(b, o);
+  inv_weight_.resize(b);
+  if (training_ && opts_.dropout > 0.0f) drop_mask_.resize(b * h);
+  if (for_training) {
+    d_out_.Resize(b, o);
+    d_h_.Resize(b, h);
+    d_cat2_.Resize(b, 2 * h);
+    d_self_.Resize(b, h);
+    d_msg_.Resize(bk, h);
+  }
+}
+
+void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
+                             size_t r1, Rng* drop_rng) {
+  const size_t k = opts_.k_recent, dv = opts_.feature_dim,
+               h = opts_.hidden_dim;
+  const size_t n0 = r0 * k, n1 = r1 * k;  // neighbor-row range
 
   // --- neighbor branch -----------------------------------------------------
-  cat1_.Resize(bk, dv + dt);
-  for (size_t i = 0; i < bk; ++i) {
+  for (size_t i = n0; i < n1; ++i) {
     std::memcpy(cat1_.Row(i), input.neighbor_feats.Row(i),
                 dv * sizeof(float));
   }
-  EncodeTime(input.time_deltas);
+  EncodeTime(input.time_deltas, n0, n1);
 
-  msg_pre_.Resize(bk, h);
-  MatMul(cat1_, w1_.w, &msg_pre_);
-  AddRowVector(&msg_pre_, b1_.w.data());
-  ReluInPlace(&msg_pre_);
+  MatMulRange(cat1_, w1_.w, &msg_pre_, n0, n1);
+  for (size_t i = n0; i < n1; ++i) {
+    float* row = msg_pre_.Row(i);
+    const float* bias = b1_.w.data();
+    for (size_t j = 0; j < h; ++j) {
+      const float v = row[j] + bias[j];
+      row[j] = v > 0.0f ? v : 0.0f;
+    }
+  }
 
-  agg_.Resize(b, h);
-  agg_.SetZero();
-  inv_weight_.resize(b);
-  for (size_t bi = 0; bi < b; ++bi) {
+  for (size_t bi = r0; bi < r1; ++bi) {
     float wsum = 0.0f;
     float* arow = agg_.Row(bi);
+    std::memset(arow, 0, h * sizeof(float));
     const float* mrow = input.mask.Row(bi);
     for (size_t j = 0; j < k; ++j) {
       if (mrow[j] == 0.0f) continue;
@@ -111,57 +153,98 @@ void SlimModel::ForwardInternal(const SlimBatchInput& input) {
   }
 
   // --- self branch ---------------------------------------------------------
-  self_pre_.Resize(b, h);
-  MatMul(input.node_feats, w2_.w, &self_pre_);
-  AddRowVector(&self_pre_, b2_.w.data());
-  ReluInPlace(&self_pre_);
-
-  // --- head ----------------------------------------------------------------
-  cat2_.Resize(b, 2 * h);
-  for (size_t bi = 0; bi < b; ++bi) {
-    std::memcpy(cat2_.Row(bi), agg_.Row(bi), h * sizeof(float));
-    std::memcpy(cat2_.Row(bi) + h, self_pre_.Row(bi), h * sizeof(float));
-  }
-  h_pre_.Resize(b, h);
-  MatMul(cat2_, w3_.w, &h_pre_);
-  AddRowVector(&h_pre_, b3_.w.data());
-  ReluInPlace(&h_pre_);
-
-  if (training_ && opts_.dropout > 0.0f) {
-    drop_mask_.resize(b * h);
-    const float keep = 1.0f - opts_.dropout;
-    const float scale = 1.0f / keep;
-    float* p = h_pre_.data();
-    for (size_t i = 0; i < b * h; ++i) {
-      const bool kept = rng_->Uniform() < keep;
-      drop_mask_[i] = kept;
-      p[i] = kept ? p[i] * scale : 0.0f;
+  MatMulRange(input.node_feats, w2_.w, &self_pre_, r0, r1);
+  for (size_t bi = r0; bi < r1; ++bi) {
+    float* row = self_pre_.Row(bi);
+    const float* bias = b2_.w.data();
+    for (size_t j = 0; j < h; ++j) {
+      const float v = row[j] + bias[j];
+      row[j] = v > 0.0f ? v : 0.0f;
     }
   }
 
-  out_.Resize(b, o);
-  MatMul(h_pre_, w4_.w, &out_);
-  AddRowVector(&out_, b4_.w.data());
+  // --- head ----------------------------------------------------------------
+  for (size_t bi = r0; bi < r1; ++bi) {
+    std::memcpy(cat2_.Row(bi), agg_.Row(bi), h * sizeof(float));
+    std::memcpy(cat2_.Row(bi) + h, self_pre_.Row(bi), h * sizeof(float));
+  }
+  MatMulRange(cat2_, w3_.w, &h_pre_, r0, r1);
+  for (size_t bi = r0; bi < r1; ++bi) {
+    float* row = h_pre_.Row(bi);
+    const float* bias = b3_.w.data();
+    for (size_t j = 0; j < h; ++j) {
+      const float v = row[j] + bias[j];
+      row[j] = v > 0.0f ? v : 0.0f;
+    }
+  }
+
+  if (drop_rng != nullptr && training_ && opts_.dropout > 0.0f) {
+    const float keep = 1.0f - opts_.dropout;
+    const float scale = 1.0f / keep;
+    for (size_t bi = r0; bi < r1; ++bi) {
+      float* row = h_pre_.Row(bi);
+      uint8_t* mask = drop_mask_.data() + bi * h;
+      for (size_t j = 0; j < h; ++j) {
+        const bool kept = drop_rng->Uniform() < keep;
+        mask[j] = kept;
+        row[j] = kept ? row[j] * scale : 0.0f;
+      }
+    }
+  }
+
+  MatMulRange(h_pre_, w4_.w, &out_, r0, r1);
+  const size_t o = opts_.out_dim;
+  for (size_t bi = r0; bi < r1; ++bi) {
+    float* row = out_.Row(bi);
+    const float* bias = b4_.w.data();
+    for (size_t j = 0; j < o; ++j) row[j] += bias[j];
+  }
+}
+
+void SlimModel::ForwardAll(const SlimBatchInput& input, bool for_training) {
+  const size_t b = input.node_feats.rows();
+  const size_t k = opts_.k_recent, dv = opts_.feature_dim;
+  assert(input.neighbor_feats.rows() == b * k);
+  assert(input.neighbor_feats.cols() == dv);
+  assert(input.time_deltas.size() == b * k);
+  assert(input.mask.rows() == b && input.mask.cols() == k);
+  assert(input.edge_weights.size() == b * k);
+  (void)k;
+  (void)dv;
+  ResizeScratch(b, for_training);
+
+  ThreadPool* pool = ThreadPool::Global();
+  const bool wants_dropout = training_ && opts_.dropout > 0.0f;
+  // Standalone training-mode forwards (not part of TrainStep, which
+  // parallelizes forward+backward per chunk itself) keep the serial
+  // model-Rng dropout path for reproducibility.
+  if (pool->num_threads() == 1 || b < 2 * kBatchGrain || wants_dropout) {
+    ForwardRange(input, 0, b, wants_dropout ? rng_ : nullptr);
+    return;
+  }
+  pool->ParallelFor(0, b, kBatchGrain,
+                    [&](size_t r0, size_t r1, size_t) {
+                      ForwardRange(input, r0, r1, nullptr);
+                    });
 }
 
 Matrix SlimModel::Forward(const SlimBatchInput& input) {
-  ForwardInternal(input);
+  ForwardAll(input, /*for_training=*/false);
   return out_;
 }
 
-double SlimModel::TrainStep(const SlimBatchInput& input,
-                            const std::vector<int>& labels) {
-  ForwardInternal(input);
+void SlimModel::BackwardRange(const SlimBatchInput& input,
+                              const std::vector<int>& labels, size_t r0,
+                              size_t r1, const GradRefs& grads,
+                              bool accumulate, double* loss_out) {
   const size_t b = input.node_feats.rows();
   const size_t k = opts_.k_recent, h = opts_.hidden_dim, o = opts_.out_dim;
-  assert(labels.size() == b);
-  if (b == 0) return 0.0;
+  const size_t n0 = r0 * k, n1 = r1 * k;
 
   // Softmax cross-entropy; d_out = (softmax - onehot) / B.
-  d_out_.Resize(b, o);
   double loss = 0.0;
   const float inv_b = 1.0f / static_cast<float>(b);
-  for (size_t bi = 0; bi < b; ++bi) {
+  for (size_t bi = r0; bi < r1; ++bi) {
     const float* row = out_.Row(bi);
     float mx = row[0];
     for (size_t j = 1; j < o; ++j) mx = row[j] > mx ? row[j] : mx;
@@ -181,46 +264,47 @@ double SlimModel::TrainStep(const SlimBatchInput& input,
                 inv_b;
     }
   }
+  *loss_out += loss;
 
   // Head.
-  MatMulTransA(h_pre_, d_out_, &w4_.grad);
-  ColumnSums(d_out_, b4_.grad.data());
-  d_h_.Resize(b, h);
-  MatMulTransB(d_out_, w4_.w, &d_h_);
+  MatMulTransARange(h_pre_, d_out_, grads.g[6], r0, r1, accumulate);
+  ColumnSumsRange(d_out_, grads.g[7]->data(), r0, r1, accumulate);
+  MatMulTransBRange(d_out_, w4_.w, &d_h_, r0, r1);
   if (training_ && opts_.dropout > 0.0f) {
     const float scale = 1.0f / (1.0f - opts_.dropout);
-    float* p = d_h_.data();
-    for (size_t i = 0; i < b * h; ++i) {
-      p[i] = drop_mask_[i] ? p[i] * scale : 0.0f;
+    for (size_t bi = r0; bi < r1; ++bi) {
+      float* p = d_h_.Row(bi);
+      const uint8_t* mask = drop_mask_.data() + bi * h;
+      for (size_t j = 0; j < h; ++j) {
+        p[j] = mask[j] ? p[j] * scale : 0.0f;
+      }
     }
   }
-  {
-    const float* act = h_pre_.data();
-    float* p = d_h_.data();
-    for (size_t i = 0; i < b * h; ++i) {
-      if (act[i] <= 0.0f) p[i] = 0.0f;
+  for (size_t bi = r0; bi < r1; ++bi) {
+    const float* act = h_pre_.Row(bi);
+    float* p = d_h_.Row(bi);
+    for (size_t j = 0; j < h; ++j) {
+      if (act[j] <= 0.0f) p[j] = 0.0f;
     }
   }
-  MatMulTransA(cat2_, d_h_, &w3_.grad);
-  ColumnSums(d_h_, b3_.grad.data());
-  d_cat2_.Resize(b, 2 * h);
-  MatMulTransB(d_h_, w3_.w, &d_cat2_);
+  MatMulTransARange(cat2_, d_h_, grads.g[4], r0, r1, accumulate);
+  ColumnSumsRange(d_h_, grads.g[5]->data(), r0, r1, accumulate);
+  MatMulTransBRange(d_h_, w3_.w, &d_cat2_, r0, r1);
 
   // Self branch: d_self = d_cat2[:, h:] masked by ReLU.
-  d_self_.Resize(b, h);
-  for (size_t bi = 0; bi < b; ++bi) {
+  for (size_t bi = r0; bi < r1; ++bi) {
     const float* src = d_cat2_.Row(bi) + h;
     const float* act = self_pre_.Row(bi);
     float* dst = d_self_.Row(bi);
     for (size_t j = 0; j < h; ++j) dst[j] = act[j] > 0.0f ? src[j] : 0.0f;
   }
-  MatMulTransA(input.node_feats, d_self_, &w2_.grad);
-  ColumnSums(d_self_, b2_.grad.data());
+  MatMulTransARange(input.node_feats, d_self_, grads.g[2], r0, r1,
+                    accumulate);
+  ColumnSumsRange(d_self_, grads.g[3]->data(), r0, r1, accumulate);
 
   // Neighbor branch: distribute d_agg over messages with their mean
   // weights, mask by ReLU.
-  d_msg_.Resize(b * k, h);
-  for (size_t bi = 0; bi < b; ++bi) {
+  for (size_t bi = r0; bi < r1; ++bi) {
     const float* dagg = d_cat2_.Row(bi);  // first h columns
     const float* mrow = input.mask.Row(bi);
     const float inv = inv_weight_[bi];
@@ -237,8 +321,67 @@ double SlimModel::TrainStep(const SlimBatchInput& input,
       }
     }
   }
-  MatMulTransA(cat1_, d_msg_, &w1_.grad);
-  ColumnSums(d_msg_, b1_.grad.data());
+  MatMulTransARange(cat1_, d_msg_, grads.g[0], n0, n1, accumulate);
+  ColumnSumsRange(d_msg_, grads.g[1]->data(), n0, n1, accumulate);
+}
+
+double SlimModel::TrainStep(const SlimBatchInput& input,
+                            const std::vector<int>& labels) {
+  const size_t b = input.node_feats.rows();
+  assert(labels.size() == b);
+  if (b == 0) return 0.0;
+  ResizeScratch(b, /*for_training=*/true);
+  ++train_calls_;
+
+  ThreadPool* pool = ThreadPool::Global();
+  const size_t num_chunks = ThreadPool::NumChunks(0, b, kBatchGrain);
+  const bool wants_dropout = training_ && opts_.dropout > 0.0f;
+  double loss = 0.0;
+
+  if (pool->num_threads() == 1 || num_chunks < 2) {
+    // Serial path: bit-identical to the pre-parallel implementation
+    // (dropout drawn sequentially from the model Rng, full-range kernels).
+    ForwardRange(input, 0, b, wants_dropout ? rng_ : nullptr);
+    BackwardRange(input, labels, 0, b, MainGradRefs(), /*accumulate=*/false,
+                  &loss);
+  } else {
+    const size_t num_workers = pool->num_threads();
+    EnsureWorkerScratch(num_workers);
+    for (GradScratch& ws : worker_grads_) {
+      for (Matrix& g : ws.g) g.SetZero();
+    }
+    chunk_loss_.assign(num_chunks, 0.0);
+
+    pool->ParallelFor(0, b, kBatchGrain,
+                      [&](size_t r0, size_t r1, size_t worker) {
+                        const size_t chunk = r0 / kBatchGrain;
+                        Rng drop_rng(WorkerRngSeed(opts_.dropout_seed,
+                                                   train_calls_, chunk));
+                        ForwardRange(input, r0, r1,
+                                     wants_dropout ? &drop_rng : nullptr);
+                        GradScratch& ws = worker_grads_[worker];
+                        GradRefs refs{{&ws.g[0], &ws.g[1], &ws.g[2],
+                                       &ws.g[3], &ws.g[4], &ws.g[5],
+                                       &ws.g[6], &ws.g[7]}};
+                        BackwardRange(input, labels, r0, r1, refs,
+                                      /*accumulate=*/true,
+                                      &chunk_loss_[chunk]);
+                      });
+
+    // Fixed-order reductions: chunk order for the loss, worker order for
+    // the gradients — deterministic for a given thread count.
+    for (size_t c = 0; c < num_chunks; ++c) loss += chunk_loss_[c];
+    GradRefs main = MainGradRefs();
+    for (size_t p = 0; p < kNumParams; ++p) {
+      Matrix* dst = main.g[p];
+      const size_t n = dst->size();
+      std::memcpy(dst->data(), worker_grads_[0].g[p].data(),
+                  n * sizeof(float));
+      for (size_t w = 1; w < num_workers; ++w) {
+        Axpy(1.0f, worker_grads_[w].g[p].data(), dst->data(), n);
+      }
+    }
+  }
 
   ++adam_t_;
   AdamStep(&w1_);

@@ -17,11 +17,24 @@
 // grow once to the largest batch and then stop allocating) and runs on the
 // blocked kernels from tensor/matrix.h. TrainStep() backpropagates by hand
 // and applies Adam — no autograd, no graph, no allocation after warm-up.
+//
+// Both are batch-parallel on the runtime/ ThreadPool: the batch is cut
+// into fixed-size row chunks (boundaries depend on the batch size only,
+// never the thread count) and every activation row is owned by exactly
+// one chunk, so forward chunks write disjoint rows of the shared scratch.
+// In TrainStep each worker backpropagates its chunks into a private
+// grow-only gradient scratch; the partials are then reduced into the Adam
+// accumulators in fixed worker order, so training is deterministic for a
+// given thread count. Dropout draws come from per-chunk Rng streams seeded
+// by (dropout_seed, step, chunk) — identical at any thread count > 1.
+// With one thread the pre-refactor serial path runs bit-for-bit (dropout
+// from the model Rng, full-range kernels).
 
 #ifndef SPLASH_CORE_SLIM_H_
 #define SPLASH_CORE_SLIM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -37,6 +50,10 @@ struct SlimOptions {
   size_t k_recent = 10;     // K: neighbors per query
   float dropout = 0.1f;     // on h during training
   float lr = 5e-3f;         // Adam step size
+  /// Seed of the per-chunk dropout streams used by the batch-parallel
+  /// train path (threads > 1). The serial path draws from the model Rng
+  /// instead, preserving the pre-parallel bit-exact behavior.
+  uint64_t dropout_seed = 0xd50bd50bULL;
 };
 
 /// One batch of assembled inputs. Row b of node_feats is the query node;
@@ -69,18 +86,50 @@ class SlimModel {
   const SlimOptions& options() const { return opts_; }
 
  private:
+  // Parameter order for gradient scratch/reduction: w1 b1 w2 b2 w3 b3 w4 b4.
+  static constexpr size_t kNumParams = 8;
+
   struct Param {
     Matrix w, grad, m, v;  // value, gradient, Adam moments
   };
 
-  void ForwardInternal(const SlimBatchInput& input);
-  void EncodeTime(const std::vector<double>& deltas);
+  /// The gradient destinations of one backward pass: either the Params'
+  /// own grad matrices (serial) or one worker's private scratch (parallel).
+  struct GradRefs {
+    Matrix* g[kNumParams];
+  };
+
+  /// One worker's private gradient accumulators (grow-only).
+  struct GradScratch {
+    Matrix g[kNumParams];
+  };
+
+  /// Grows every forward/backward scratch matrix for a B-row batch. Must
+  /// run before chunks are dispatched: Resize may reallocate.
+  void ResizeScratch(size_t b, bool for_training);
+  /// Forward for batch rows [r0, r1) into the shared scratch (disjoint
+  /// rows per chunk). `drop_rng` non-null applies training dropout.
+  void ForwardRange(const SlimBatchInput& input, size_t r0, size_t r1,
+                    Rng* drop_rng);
+  /// Runs ResizeScratch + ForwardRange serial or chunk-parallel.
+  void ForwardAll(const SlimBatchInput& input, bool for_training);
+  /// Softmax/CE + backprop for batch rows [r0, r1): gradient contributions
+  /// of those rows go to `grads` (added when accumulate); the rows' summed
+  /// loss is added to *loss_out.
+  void BackwardRange(const SlimBatchInput& input,
+                     const std::vector<int>& labels, size_t r0, size_t r1,
+                     const GradRefs& grads, bool accumulate,
+                     double* loss_out);
+  void EncodeTime(const std::vector<double>& deltas, size_t i0, size_t i1);
+  void EnsureWorkerScratch(size_t num_workers);
+  GradRefs MainGradRefs();
   void AdamStep(Param* p);
 
   SlimOptions opts_;
   Rng* rng_;
   bool training_ = false;
   size_t adam_t_ = 0;
+  uint64_t train_calls_ = 0;  // tags the per-chunk dropout streams
 
   Param w1_, b1_, w2_, b2_, w3_, b3_, w4_, b4_;
 
@@ -97,6 +146,11 @@ class SlimModel {
 
   // Backward scratch.
   Matrix d_out_, d_h_, d_cat2_, d_msg_, d_self_;
+
+  // Batch-parallel scratch (grow-only): per-worker gradient partials and
+  // per-chunk loss partials, reduced in fixed order.
+  std::vector<GradScratch> worker_grads_;
+  std::vector<double> chunk_loss_;
 };
 
 }  // namespace splash

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "runtime/thread_pool.h"
+
 namespace splash {
 
 std::string SplashModeName(SplashMode mode) {
@@ -35,10 +37,7 @@ SplashPredictor::SplashPredictor(const SplashOptions& opts)
         }
         return a;
       }()),
-      memory_(opts.slim.k_recent == 0 ? 1 : opts.slim.k_recent) {
-  nbr_ids_.resize(memory_.k());
-  nbr_times_.resize(memory_.k());
-}
+      memory_(opts.slim.k_recent == 0 ? 1 : opts.slim.k_recent) {}
 
 Status SplashPredictor::Prepare(const Dataset& ds, const ChronoSplit& split) {
   if (ds.stream.empty()) {
@@ -75,6 +74,9 @@ Status SplashPredictor::Prepare(const Dataset& ds, const ChronoSplit& split) {
   slim_opts.feature_dim = input_dim_;
   slim_opts.k_recent = memory_.k();  // same clamp as the ring buffer
   slim_opts.out_dim = std::max<size_t>(2, ds.num_classes);
+  // Per-chunk dropout streams of the batch-parallel train path follow the
+  // predictor seed so identically-seeded runs stay reproducible.
+  slim_opts.dropout_seed = SplitMix64(opts_.seed ^ 0xd50bd50bULL);
   slim_ = std::make_unique<SlimModel>(slim_opts, &rng_);
 
   memory_.EnsureNodeCapacity(ds.stream.num_nodes());
@@ -132,28 +134,45 @@ void SplashPredictor::AssembleBatch(
   batch_.mask.Resize(b, k);
   batch_.edge_weights.resize(b * k);
 
-  for (size_t bi = 0; bi < b; ++bi) {
-    const PropertyQuery& q = queries[bi];
-    WriteNodeFeature(q.node, batch_.node_feats.Row(bi));
-    const size_t count =
-        memory_.GatherRecent(q.node, nbr_ids_.data(), nbr_times_.data());
-    float* mask_row = batch_.mask.Row(bi);
-    for (size_t j = 0; j < k; ++j) {
-      const size_t idx = bi * k + j;
-      if (j < count) {
-        WriteNodeFeature(nbr_ids_[j], batch_.neighbor_feats.Row(idx));
-        batch_.time_deltas[idx] = q.time - nbr_times_[j];
-        batch_.edge_weights[idx] = 1.0f;
-        mask_row[j] = 1.0f;
-      } else {
-        std::memset(batch_.neighbor_feats.Row(idx), 0,
-                    input_dim_ * sizeof(float));
-        batch_.time_deltas[idx] = 0.0;
-        batch_.edge_weights[idx] = 0.0f;
-        mask_row[j] = 0.0f;
-      }
+  ThreadPool* pool = ThreadPool::Global();
+  const size_t num_workers = pool->num_threads();
+  if (worker_nbr_ids_.size() < num_workers) {
+    worker_nbr_ids_.resize(num_workers);
+    worker_nbr_times_.resize(num_workers);
+  }
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (worker_nbr_ids_[w].size() < k) {
+      worker_nbr_ids_[w].resize(k);
+      worker_nbr_times_[w].resize(k);
     }
   }
+
+  pool->ParallelFor(0, b, kBatchAssembleGrain, [&](size_t r0, size_t r1,
+                                                   size_t worker) {
+    NodeId* nbr_ids = worker_nbr_ids_[worker].data();
+    double* nbr_times = worker_nbr_times_[worker].data();
+    for (size_t bi = r0; bi < r1; ++bi) {
+      const PropertyQuery& q = queries[bi];
+      WriteNodeFeature(q.node, batch_.node_feats.Row(bi));
+      const size_t count = memory_.GatherRecent(q.node, nbr_ids, nbr_times);
+      float* mask_row = batch_.mask.Row(bi);
+      for (size_t j = 0; j < k; ++j) {
+        const size_t idx = bi * k + j;
+        if (j < count) {
+          WriteNodeFeature(nbr_ids[j], batch_.neighbor_feats.Row(idx));
+          batch_.time_deltas[idx] = q.time - nbr_times[j];
+          batch_.edge_weights[idx] = 1.0f;
+          mask_row[j] = 1.0f;
+        } else {
+          std::memset(batch_.neighbor_feats.Row(idx), 0,
+                      input_dim_ * sizeof(float));
+          batch_.time_deltas[idx] = 0.0;
+          batch_.edge_weights[idx] = 0.0f;
+          mask_row[j] = 0.0f;
+        }
+      }
+    }
+  });
 }
 
 Matrix SplashPredictor::PredictBatch(

@@ -73,11 +73,14 @@ class SplashPredictor : public TemporalPredictor {
   AugmentationProcess selected_ = AugmentationProcess::kStructural;
   size_t input_dim_ = 0;
 
-  // Assembly scratch (grow-only, reused across batches).
+  // Assembly scratch (grow-only, reused across batches). Queries are
+  // assembled in parallel on the runtime/ ThreadPool — feature writes and
+  // ring gathers are read-only on model state and land in disjoint batch
+  // rows — so the k-sized gather scratch is per worker.
   SlimBatchInput batch_;
   std::vector<int> labels_;
-  std::vector<NodeId> nbr_ids_;
-  std::vector<double> nbr_times_;
+  std::vector<std::vector<NodeId>> worker_nbr_ids_;
+  std::vector<std::vector<double>> worker_nbr_times_;
 };
 
 }  // namespace splash

@@ -8,19 +8,59 @@
 
 #include "eval/metrics.h"
 #include "eval/timing.h"
+#include "runtime/thread_pool.h"
 
 namespace splash {
+
+namespace {
+
+/// Boundary time for "the first `frac` of the edges": the later period
+/// starts at the first index whose time reaches the cut edge's time, and
+/// the boundary snaps to the timestamp just before it. For distinct
+/// timestamps this reproduces the historical quantile boundary exactly;
+/// when a tied run straddles the positional cut, the whole run moves into
+/// the later period instead of being bisected (a bisected run would score
+/// boundary-time queries with their own-time edges already in state).
+double BoundaryAtFraction(const EdgeStream& stream, double frac) {
+  const size_t n = stream.size();
+  if (n == 0) return 0.0;
+  const double clamped = std::min(1.0, std::max(0.0, frac));
+  // The historical boundary was t[floor(frac*(n-1))] inclusive; the later
+  // period therefore starts one past it. Deriving the cut from that index
+  // keeps distinct-timestamp boundaries bit-identical to the old quantile
+  // for every n, not just when frac*n is integral.
+  const size_t cut = static_cast<size_t>(
+                         clamped * static_cast<double>(n - 1)) + 1;
+  if (cut >= n) return stream.max_time();
+  const double* t = stream.time_data();
+  const size_t first = static_cast<size_t>(
+      std::lower_bound(t, t + n, t[cut]) - t);
+  if (first == 0) return stream.min_time() - 1.0;
+  return t[first - 1];
+}
+
+/// Applies the trainer's thread knob: resizes the global pool only when a
+/// count was requested and differs from the ambient one.
+void ApplyThreadKnob(size_t num_threads) {
+  if (num_threads > 0 && ThreadPool::GlobalThreads() != num_threads) {
+    ThreadPool::SetGlobalThreads(num_threads);
+  }
+}
+
+}  // namespace
 
 ChronoSplit MakeChronoSplit(const EdgeStream& stream, double val_frac,
                             double test_frac) {
   ChronoSplit split;
-  split.train_end_time = stream.TimeQuantile(1.0 - val_frac - test_frac);
-  split.val_end_time = stream.TimeQuantile(1.0 - test_frac);
+  split.train_end_time =
+      BoundaryAtFraction(stream, 1.0 - val_frac - test_frac);
+  split.val_end_time = BoundaryAtFraction(stream, 1.0 - test_frac);
   return split;
 }
 
 FitResult StreamTrainer::Fit(TemporalPredictor* model, const Dataset& ds,
                              const ChronoSplit& split) {
+  ApplyThreadKnob(opts_.num_threads);
   WallTimer timer;
   FitResult result;
   const size_t n_edges = ds.stream.size();
@@ -98,6 +138,7 @@ FitResult StreamTrainer::Fit(TemporalPredictor* model, const Dataset& ds,
 EvalResult StreamTrainer::Evaluate(TemporalPredictor* model,
                                    const Dataset& ds,
                                    const ChronoSplit& split) {
+  ApplyThreadKnob(opts_.num_threads);
   EvalResult result;
   model->SetTraining(false);
   model->ResetState();

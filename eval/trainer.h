@@ -20,6 +20,11 @@ namespace splash {
 
 /// Builds the standard chronological split: the last `test_frac` of edges
 /// (by position) is the test period, the `val_frac` before it validation.
+/// Each boundary is placed at the first *index* whose time reaches the
+/// positional cut time and snapped to the previous edge's timestamp, so a
+/// run of tied timestamps never straddles a boundary — without the snap, a
+/// boundary-time query would be scored with its own-time edges already in
+/// model state (they replay before the period ends).
 ChronoSplit MakeChronoSplit(const EdgeStream& stream, double val_frac,
                             double test_frac);
 
@@ -28,6 +33,12 @@ struct TrainerOptions {
   size_t batch_size = 200;
   bool early_stopping = true;
   size_t patience = 3;  // epochs without val improvement before stopping
+  /// Worker threads for the runtime/ ThreadPool. 0 keeps the current
+  /// pool (SPLASH_THREADS env or hardware concurrency); any other value
+  /// resizes the process-global pool on the next Fit/Evaluate and stays
+  /// in effect afterwards (the pool is global, not per-trainer). 1
+  /// reproduces the serial numbers bit-for-bit.
+  size_t num_threads = 0;
 };
 
 struct FitResult {

@@ -1,0 +1,143 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace splash {
+
+namespace {
+
+// Worker index of the current thread while it executes pool chunks; -1 on
+// external threads. Nested ParallelFor calls consult this to run inline.
+thread_local int tls_worker_index = -1;
+
+size_t DefaultThreads() {
+  if (const char* env = std::getenv("SPLASH_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+std::atomic<ThreadPool*> g_pool{nullptr};
+std::mutex g_pool_mutex;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Launch(size_t begin, size_t end, size_t grain, Thunk thunk,
+                        void* ctx) {
+  const size_t g = grain == 0 ? 1 : grain;
+  const size_t num_chunks = NumChunks(begin, end, g);
+  if (num_chunks == 0) return;
+
+  // Inline paths: single-thread pools, single-chunk jobs, and nested calls
+  // (a worker fanning out again would deadlock-or-oversubscribe; running
+  // inline keeps chunk->Rng-stream mapping intact because chunk indices are
+  // unchanged).
+  if (num_threads_ == 1 || num_chunks == 1 || tls_worker_index >= 0) {
+    const size_t w =
+        tls_worker_index >= 0 ? static_cast<size_t>(tls_worker_index) : 0;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t c0 = begin + c * g;
+      const size_t c1 = std::min(c0 + g, end);
+      thunk(ctx, c0, c1, w);
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_thunk_ = thunk;
+    job_ctx_ = ctx;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = g;
+    job_num_chunks_ = num_chunks;
+    pending_workers_.store(num_threads_, std::memory_order_relaxed);
+    ++job_epoch_;
+  }
+  wake_.notify_all();
+  RunChunksAs(0);
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  done_.wait(lk, [this] {
+    return pending_workers_.load(std::memory_order_acquire) == 0;
+  });
+  job_thunk_ = nullptr;
+  job_ctx_ = nullptr;
+}
+
+void ThreadPool::RunChunksAs(size_t worker_index) {
+  tls_worker_index = static_cast<int>(worker_index);
+  // Static round-robin: worker w owns chunks w, w+T, w+2T, ... and runs
+  // them in index order — no stealing, so per-worker partial reductions
+  // accumulate in a fixed order.
+  for (size_t c = worker_index; c < job_num_chunks_; c += num_threads_) {
+    const size_t c0 = job_begin_ + c * job_grain_;
+    const size_t c1 = c0 + job_grain_;
+    job_thunk_(job_ctx_, c0, c1 < job_end_ ? c1 : job_end_, worker_index);
+  }
+  tls_worker_index = -1;
+  if (pending_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      wake_.wait(lk, [this, seen_epoch] {
+        return shutdown_ || job_epoch_ != seen_epoch;
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+    }
+    RunChunksAs(worker_index);
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  ThreadPool* p = g_pool.load(std::memory_order_acquire);
+  if (p) return p;
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  p = g_pool.load(std::memory_order_relaxed);
+  if (!p) {
+    p = new ThreadPool(DefaultThreads());
+    g_pool.store(p, std::memory_order_release);
+  }
+  return p;
+}
+
+void ThreadPool::SetGlobalThreads(size_t n) {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  ThreadPool* old = g_pool.exchange(nullptr, std::memory_order_acq_rel);
+  delete old;  // joins the old helpers; no job may be in flight (contract)
+  g_pool.store(new ThreadPool(n == 0 ? DefaultThreads() : n),
+               std::memory_order_release);
+}
+
+}  // namespace splash

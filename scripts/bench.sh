@@ -3,6 +3,11 @@
 # BENCH_micro.json at the repo root. Future perf PRs diff against this file
 # to prove hot-path regressions/improvements (see DESIGN.md §4).
 #
+# The *Threads benchmarks size the runtime/ pool themselves per Arg, so a
+# single run records the threads=1 vs threads=N row pairs
+# (BM_SlimTrainStepThreads/{1,2,4}, BM_ChronoReplayThreads/{1,4},
+# BM_NeighborMemoryObserveBulkThreads/{1,4}) that gate the parallel layer.
+#
 # Usage: scripts/bench.sh [build-dir]   (default: build-bench)
 
 set -euo pipefail
@@ -13,10 +18,23 @@ build_dir="${1:-${repo_root}/build-bench}"
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_substrate
 
-"${build_dir}/bench_micro_substrate" \
+# Non-sweep rows are pinned to one thread so the committed baseline is
+# host-concurrency-independent; the *Threads sweeps size the pool
+# themselves per Arg and ignore this.
+SPLASH_THREADS="${SPLASH_THREADS:-1}" "${build_dir}/bench_micro_substrate" \
   --benchmark_format=json \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
   > "${repo_root}/BENCH_micro.json"
 
-echo "wrote ${repo_root}/BENCH_micro.json"
+# Sanity: the thread-sweep row pairs must be present, or the scaling gate
+# has silently vanished from the snapshot.
+for row in "BM_SlimTrainStepThreads/1" "BM_SlimTrainStepThreads/4" \
+           "BM_ChronoReplayThreads/1" "BM_ChronoReplayThreads/4"; do
+  if ! grep -q "\"${row}" "${repo_root}/BENCH_micro.json"; then
+    echo "ERROR: ${row} missing from BENCH_micro.json" >&2
+    exit 1
+  fi
+done
+
+echo "wrote ${repo_root}/BENCH_micro.json (incl. threads=1 vs N row pairs)"

@@ -12,6 +12,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "runtime/thread_pool.h"
+
 namespace splash {
 
 namespace {
@@ -21,18 +23,48 @@ namespace {
 constexpr size_t kBlockK = 128;
 constexpr size_t kBlockJ = 128;
 
+// Parallel dispatch gate: GEMMs below this many flops (2*m*k*n) run serial
+// — the ParallelFor wake/join costs a few microseconds, so tiny kernels
+// (bias outer products, per-query ops) must not pay it.
+constexpr size_t kParallelMinFlops = size_t{1} << 18;
+
+// Floor on rows per chunk so a chunk amortizes its dispatch.
+constexpr size_t kMinRowChunk = 8;
+
+/// Partitions `rows` across the pool when `flops` clears the gate; returns
+/// true if the parallel path ran. fn(row_begin, row_end) must write
+/// disjoint output rows.
+template <typename Fn>
+bool ParallelRows(size_t rows, size_t flops, const Fn& fn) {
+  ThreadPool* pool = ThreadPool::Global();
+  const size_t t = pool->num_threads();
+  if (t <= 1 || flops < kParallelMinFlops || rows < 2 * kMinRowChunk) {
+    return false;
+  }
+  const size_t grain =
+      std::max(kMinRowChunk, (rows + 4 * t - 1) / (4 * t));
+  pool->ParallelFor(0, rows, grain,
+                    [&fn](size_t r0, size_t r1, size_t) { fn(r0, r1); });
+  return true;
+}
+
 }  // namespace
 
-void MatMul(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+void MatMulRange(const Matrix& a, const Matrix& b, Matrix* c,
+                 size_t row_begin, size_t row_end, bool accumulate) {
+  const size_t k = a.cols(), n = b.cols();
   assert(b.rows() == k);
-  assert(c->rows() == m && c->cols() == n);
-  if (!accumulate) std::memset(c->data(), 0, m * n * sizeof(float));
+  assert(c->rows() == a.rows() && c->cols() == n);
+  assert(row_begin <= row_end && row_end <= a.rows());
+  if (!accumulate && row_end > row_begin) {
+    std::memset(c->Row(row_begin), 0,
+                (row_end - row_begin) * n * sizeof(float));
+  }
   for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
     const size_t j1 = std::min(n, j0 + kBlockJ);
     for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
       const size_t k1 = std::min(k, k0 + kBlockK);
-      for (size_t i = 0; i < m; ++i) {
+      for (size_t i = row_begin; i < row_end; ++i) {
         const float* arow = a.Row(i);
         float* crow = c->Row(i);
         for (size_t kk = k0; kk < k1; ++kk) {
@@ -47,13 +79,23 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
   }
 }
 
-void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* c,
-                  bool accumulate) {
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+void MatMul(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (!ParallelRows(m, 2 * m * k * n, [&](size_t r0, size_t r1) {
+        MatMulRange(a, b, c, r0, r1, accumulate);
+      })) {
+    MatMulRange(a, b, c, 0, m, accumulate);
+  }
+}
+
+void MatMulTransBRange(const Matrix& a, const Matrix& b, Matrix* c,
+                       size_t row_begin, size_t row_end, bool accumulate) {
+  const size_t k = a.cols(), n = b.rows();
   assert(b.cols() == k);
-  assert(c->rows() == m && c->cols() == n);
+  assert(c->rows() == a.rows() && c->cols() == n);
+  assert(row_begin <= row_end && row_end <= a.rows());
   // Dot-product form: both operands are read with unit stride.
-  for (size_t i = 0; i < m; ++i) {
+  for (size_t i = row_begin; i < row_end; ++i) {
     const float* arow = a.Row(i);
     float* crow = c->Row(i);
     for (size_t j = 0; j < n; ++j) {
@@ -73,15 +115,52 @@ void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* c,
   }
 }
 
-void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* c,
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* c,
                   bool accumulate) {
-  const size_t r = a.rows(), m = a.cols(), n = b.cols();
-  assert(b.rows() == r);
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (!ParallelRows(m, 2 * m * k * n, [&](size_t r0, size_t r1) {
+        MatMulTransBRange(a, b, c, r0, r1, accumulate);
+      })) {
+    MatMulTransBRange(a, b, c, 0, m, accumulate);
+  }
+}
+
+namespace {
+
+/// MatMulTransA restricted to *output* rows [i_begin, i_end) over the full
+/// reduction: the parallel-dispatch partition (disjoint writes). Each
+/// output element still accumulates over rr in ascending order, so the
+/// result is bit-identical to the serial kernel.
+void MatMulTransAOutputRange(const Matrix& a, const Matrix& b, Matrix* c,
+                             size_t i_begin, size_t i_end, bool accumulate) {
+  const size_t r = a.rows(), n = b.cols();
+  if (!accumulate && i_end > i_begin) {
+    std::memset(c->Row(i_begin), 0, (i_end - i_begin) * n * sizeof(float));
+  }
+  for (size_t rr = 0; rr < r; ++rr) {
+    const float* arow = a.Row(rr);
+    const float* brow = b.Row(rr);
+    for (size_t i = i_begin; i < i_end; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c->Row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulTransARange(const Matrix& a, const Matrix& b, Matrix* c,
+                       size_t r_begin, size_t r_end, bool accumulate) {
+  const size_t m = a.cols(), n = b.cols();
+  assert(b.rows() == a.rows());
   assert(c->rows() == m && c->cols() == n);
+  assert(r_begin <= r_end && r_end <= a.rows());
   if (!accumulate) std::memset(c->data(), 0, m * n * sizeof(float));
   // Rank-1 update per input row: c[i, :] += a(rr, i) * b(rr, :). The inner
   // loop is again a unit-stride FMA over an output row.
-  for (size_t rr = 0; rr < r; ++rr) {
+  for (size_t rr = r_begin; rr < r_end; ++rr) {
     const float* arow = a.Row(rr);
     const float* brow = b.Row(rr);
     for (size_t i = 0; i < m; ++i) {
@@ -90,6 +169,18 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* c,
       float* crow = c->Row(i);
       for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
+  }
+}
+
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* c,
+                  bool accumulate) {
+  const size_t r = a.rows(), m = a.cols(), n = b.cols();
+  assert(b.rows() == r);
+  assert(c->rows() == m && c->cols() == n);
+  if (!ParallelRows(m, 2 * r * m * n, [&](size_t i0, size_t i1) {
+        MatMulTransAOutputRange(a, b, c, i0, i1, accumulate);
+      })) {
+    MatMulTransARange(a, b, c, 0, r, accumulate);
   }
 }
 
@@ -112,9 +203,14 @@ void Axpy(float alpha, const float* x, float* y, size_t n) {
 }
 
 void ColumnSums(const Matrix& m, float* out) {
-  const size_t rows = m.rows(), cols = m.cols();
-  std::memset(out, 0, cols * sizeof(float));
-  for (size_t i = 0; i < rows; ++i) {
+  ColumnSumsRange(m, out, 0, m.rows(), /*accumulate=*/false);
+}
+
+void ColumnSumsRange(const Matrix& m, float* out, size_t row_begin,
+                     size_t row_end, bool accumulate) {
+  const size_t cols = m.cols();
+  if (!accumulate) std::memset(out, 0, cols * sizeof(float));
+  for (size_t i = row_begin; i < row_end; ++i) {
     const float* row = m.Row(i);
     for (size_t j = 0; j < cols; ++j) out[j] += row[j];
   }

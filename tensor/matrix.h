@@ -94,19 +94,43 @@ class Matrix {
 // ---------------------------------------------------------------------------
 // Dense kernels (tensor/matrix.cc). All of them require the output to be
 // pre-sized by the caller; none of them allocate.
+//
+// The top-level kernels run on the global ThreadPool when the flop count
+// clears a threshold (small GEMMs stay serial) by partitioning output rows;
+// per-element accumulation order is unchanged, so parallel results are
+// bit-identical to serial ones. The *Range variants are the serial
+// building blocks, exposed so batch-parallel callers (core/slim.cc) can
+// drive row slices from their own chunking without nested fan-out.
 // ---------------------------------------------------------------------------
 
 /// c = a * b (+ c if accumulate). a: MxK, b: KxN, c: MxN.
 void MatMul(const Matrix& a, const Matrix& b, Matrix* c,
             bool accumulate = false);
 
+/// MatMul restricted to output rows [row_begin, row_end): only those rows
+/// of `c` are written (and zeroed first unless accumulate).
+void MatMulRange(const Matrix& a, const Matrix& b, Matrix* c,
+                 size_t row_begin, size_t row_end, bool accumulate = false);
+
 /// c = a * b^T (+ c if accumulate). a: MxK, b: NxK, c: MxN.
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* c,
                   bool accumulate = false);
 
+/// MatMulTransB restricted to output rows [row_begin, row_end).
+void MatMulTransBRange(const Matrix& a, const Matrix& b, Matrix* c,
+                       size_t row_begin, size_t row_end,
+                       bool accumulate = false);
+
 /// c = a^T * b (+ c if accumulate). a: RxM, b: RxN, c: MxN.
 void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* c,
                   bool accumulate = false);
+
+/// MatMulTransA restricted to *reduction* rows [r_begin, r_end) of a/b; the
+/// whole of `c` is written (zeroed first unless accumulate). This is the
+/// per-batch-chunk gradient kernel: each worker folds its chunk's rows into
+/// a private accumulator.
+void MatMulTransARange(const Matrix& a, const Matrix& b, Matrix* c,
+                       size_t r_begin, size_t r_end, bool accumulate = false);
 
 /// m[r, :] += bias for every row r. bias has m->cols() entries.
 void AddRowVector(Matrix* m, const float* bias);
@@ -119,6 +143,11 @@ void Axpy(float alpha, const float* x, float* y, size_t n);
 
 /// out[j] = sum_r m(r, j): column sums, out has m.cols() entries.
 void ColumnSums(const Matrix& m, float* out);
+
+/// Column sums over rows [row_begin, row_end) only; adds into `out` when
+/// accumulate, overwrites otherwise.
+void ColumnSumsRange(const Matrix& m, float* out, size_t row_begin,
+                     size_t row_end, bool accumulate = false);
 
 /// Solves (x^T x + lambda I) w = x^T y for w (ridge regression) via
 /// Cholesky. x: NxD, y: NxC, w resized to DxC. Returns false if the normal

@@ -1,0 +1,117 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Counting-allocator gate for the per-edge complexity contract (DESIGN.md
+// §3): NeighborMemory::Observe and SlimModel::TrainStep must perform ZERO
+// heap allocations at steady state — including with threads > 1, where the
+// per-worker gradient scratch and the ParallelFor dispatch must be
+// grow-only too. Global operator new/delete are replaced with counting
+// shims; a scoped flag confines the assertion to the measured region.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/slim.h"
+#include "graph/neighbor_memory.h"
+#include "runtime/thread_pool.h"
+#include "tensor/rng.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_alloc_count{0};
+
+void* CountedAlloc(size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace splash {
+namespace {
+
+/// Allocations observed while running `fn`.
+template <typename Fn>
+size_t CountAllocations(const Fn& fn) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_seq_cst);
+  fn();
+  g_counting.store(false, std::memory_order_seq_cst);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(AllocationSteadyStateTest, NeighborMemoryObserveIsAllocationFree) {
+  ThreadPool::SetGlobalThreads(4);
+  const size_t n = 4096;
+  NeighborMemory memory(10, n);
+  Rng rng(1);
+  double t = 0.0;
+  // Warm-up inside capacity (the hint pre-sized every shard).
+  for (size_t i = 0; i < 1000; ++i) {
+    memory.Observe(TemporalEdge(static_cast<NodeId>(rng.UniformInt(n)),
+                                static_cast<NodeId>(rng.UniformInt(n)),
+                                t += 1.0),
+                   i);
+  }
+  const size_t allocs = CountAllocations([&] {
+    for (size_t i = 0; i < 100000; ++i) {
+      memory.Observe(TemporalEdge(static_cast<NodeId>(rng.UniformInt(n)),
+                                  static_cast<NodeId>(rng.UniformInt(n)),
+                                  t += 1.0),
+                     i);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(AllocationSteadyStateTest, SlimTrainStepIsAllocationFreeWithThreads) {
+  ThreadPool::SetGlobalThreads(4);
+  SlimOptions opts;
+  opts.feature_dim = 32;
+  opts.hidden_dim = 64;
+  opts.k_recent = 10;
+  opts.dropout = 0.1f;
+  Rng rng(4);
+  SlimModel model(opts, &rng);
+  model.SetTraining(true);
+
+  const size_t b = 192;
+  SlimBatchInput input;
+  input.node_feats = Matrix::Gaussian(b, 32, &rng);
+  input.neighbor_feats = Matrix::Gaussian(b * 10, 32, &rng);
+  input.time_deltas.assign(b * 10, 1.0);
+  input.mask = Matrix::Ones(b, 10);
+  input.edge_weights.assign(b * 10, 1.0f);
+  std::vector<int> labels(b);
+  for (size_t i = 0; i < b; ++i) labels[i] = static_cast<int>(i % 2);
+
+  // Warm-up: grows the activation scratch, the per-worker gradient
+  // scratch, and the chunk-loss vector to this batch size.
+  model.TrainStep(input, labels);
+  model.TrainStep(input, labels);
+
+  const size_t allocs = CountAllocations([&] {
+    for (int step = 0; step < 10; ++step) model.TrainStep(input, labels);
+  });
+  EXPECT_EQ(allocs, 0u);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace splash

@@ -1,0 +1,90 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// MakeChronoSplit boundary semantics on tied-timestamp streams (ISSUE 2
+// small fix): a run of edges sharing one timestamp must land wholly on one
+// side of each boundary. If the boundary time bisected the run, a query at
+// that time would be scored with its own-time edges already observed — a
+// leak at the val/test boundary.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/trainer.h"
+#include "graph/edge_stream.h"
+
+namespace splash {
+namespace {
+
+EdgeStream StreamWithTimes(const std::vector<double>& times) {
+  EdgeStream stream;
+  for (size_t i = 0; i < times.size(); ++i) {
+    EXPECT_TRUE(stream
+                    .Append(TemporalEdge(static_cast<NodeId>(i % 5),
+                                         static_cast<NodeId>((i + 1) % 5),
+                                         times[i]))
+                    .ok());
+  }
+  return stream;
+}
+
+bool BoundaryBisectsATieRun(const EdgeStream& stream, double boundary) {
+  // Sorted stream: the boundary bisects a tie run iff the last edge on or
+  // before it shares its timestamp with the first edge after it.
+  size_t last_le = stream.size();
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (stream[i].time <= boundary) last_le = i;
+  }
+  return last_le != stream.size() && last_le + 1 < stream.size() &&
+         stream[last_le].time == stream[last_le + 1].time;
+}
+
+TEST(ChronoSplitTest, TiedRunAtBoundaryLandsWhollyInLaterPeriod) {
+  // 10 edges; the 80%/90% positional cuts both land inside the tie run at
+  // time 2.0. The run must be pushed past the boundary, not bisected.
+  const EdgeStream stream =
+      StreamWithTimes({0.0, 1.0, 1.5, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 3.0});
+  const ChronoSplit split = MakeChronoSplit(stream, 0.1, 0.1);
+  EXPECT_FALSE(BoundaryBisectsATieRun(stream, split.train_end_time));
+  EXPECT_FALSE(BoundaryBisectsATieRun(stream, split.val_end_time));
+  // Train cut (index 8) lands inside the 2.0 run: the boundary snaps to
+  // the last distinct time before the run, pushing the run into val.
+  EXPECT_DOUBLE_EQ(split.train_end_time, 1.5);
+  // Val cut (index 9) lands after the run: the run stays wholly in val.
+  EXPECT_DOUBLE_EQ(split.val_end_time, 2.0);
+}
+
+TEST(ChronoSplitTest, DistinctTimesKeepChronologicalOrdering) {
+  const EdgeStream stream =
+      StreamWithTimes({0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0});
+  const ChronoSplit split = MakeChronoSplit(stream, 0.2, 0.2);
+  EXPECT_LT(split.train_end_time, split.val_end_time);
+  EXPECT_LT(split.val_end_time, stream.max_time());
+  size_t train_edges = 0, val_edges = 0, test_edges = 0;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const double t = stream[i].time;
+    if (t <= split.train_end_time) {
+      ++train_edges;
+    } else if (t <= split.val_end_time) {
+      ++val_edges;
+    } else {
+      ++test_edges;
+    }
+  }
+  EXPECT_GT(train_edges, 0u);
+  EXPECT_GT(val_edges, 0u);
+  EXPECT_GT(test_edges, 0u);
+  EXPECT_EQ(train_edges + val_edges + test_edges, stream.size());
+}
+
+TEST(ChronoSplitTest, AllTiedTimestampsDegradeGracefully) {
+  // Every edge at one timestamp: nothing can precede the boundary, so the
+  // whole stream becomes the later period instead of leaking into train.
+  const EdgeStream stream = StreamWithTimes({5.0, 5.0, 5.0, 5.0, 5.0});
+  const ChronoSplit split = MakeChronoSplit(stream, 0.2, 0.2);
+  EXPECT_LT(split.train_end_time, 5.0);
+  EXPECT_LT(split.val_end_time, 5.0);
+}
+
+}  // namespace
+}  // namespace splash

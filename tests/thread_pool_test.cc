@@ -1,0 +1,103 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Runtime-layer contract tests: ParallelFor coverage, static chunk->worker
+// assignment, nested-call inlining, and the chunk-indexed Rng streams.
+
+#include "runtime/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace splash {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, 1003, 17, [&](size_t b, size_t e, size_t) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto chunks_of = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    pool.ParallelFor(0, 100, 16, [&](size_t b, size_t e, size_t) {
+      std::lock_guard<std::mutex> lk(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(chunks_of(1), chunks_of(4));
+  EXPECT_EQ(ThreadPool::NumChunks(0, 100, 16), 7u);
+}
+
+TEST(ThreadPoolTest, StaticAssignmentIsRoundRobin) {
+  ThreadPool pool(3);
+  std::vector<size_t> owner(9, 99);
+  pool.ParallelFor(0, 9, 1, [&](size_t b, size_t, size_t w) {
+    owner[b] = w;  // grain 1: chunk index == begin
+  });
+  for (size_t c = 0; c < 9; ++c) EXPECT_EQ(owner[c], c % 3);
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInlineOnTheSameWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t, size_t, size_t outer_w) {
+    pool.ParallelFor(0, 4, 1, [&](size_t, size_t, size_t inner_w) {
+      if (inner_w != outer_w) mismatches.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  size_t sum = 0;  // no synchronization: must be safe with 1 thread
+  pool.ParallelFor(0, 50, 8, [&](size_t b, size_t e, size_t w) {
+    EXPECT_EQ(w, 0u);
+    for (size_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 50u * 49u / 2u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> total{0};
+    pool.ParallelFor(0, 64, 4, [&](size_t b, size_t e, size_t) {
+      total.fetch_add(e - b);
+    });
+    ASSERT_EQ(total.load(), 64u);
+  }
+}
+
+TEST(ThreadPoolTest, WorkerRngSeedIsChunkDeterministic) {
+  EXPECT_EQ(WorkerRngSeed(7, 3, 2), WorkerRngSeed(7, 3, 2));
+  EXPECT_NE(WorkerRngSeed(7, 3, 2), WorkerRngSeed(7, 3, 1));
+  EXPECT_NE(WorkerRngSeed(7, 2, 2), WorkerRngSeed(7, 3, 2));
+  EXPECT_NE(WorkerRngSeed(6, 3, 2), WorkerRngSeed(7, 3, 2));
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsResizesPool) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 3u);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace splash
