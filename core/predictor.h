@@ -24,6 +24,7 @@
 #include "core/status.h"
 #include "core/types.h"
 #include "datasets/dataset.h"
+#include "graph/edge_stream.h"
 #include "tensor/matrix.h"
 
 namespace splash {
@@ -53,6 +54,40 @@ class TemporalPredictor {
   /// Advances streaming state by one edge. `edge_index` is the position in
   /// the stream (monotone across one replay).
   virtual void ObserveEdge(const TemporalEdge& e, size_t edge_index) = 0;
+
+  /// Bulk state advance: equivalent to ObserveEdge on each edge of
+  /// [begin, end) in stream order. Predictors with shard-partitioned state
+  /// override this to fan out on the runtime/ ThreadPool; the default is
+  /// the serial loop.
+  virtual void ObserveBulk(const EdgeStream& stream, size_t begin,
+                           size_t end) {
+    for (size_t i = begin; i < end; ++i) ObserveEdge(stream[i], i);
+  }
+
+  // --- split-phase batch API (the pipelined executor's contract) ---------
+  //
+  // StageBatch assembles model inputs from *current* streaming state;
+  // TrainStaged / PredictStaged then run pure compute on the staged buffer
+  // and the weights, reading NO streaming state — which is what lets the
+  // executor overlap them with ObserveBulk of later edges. A predictor
+  // that cannot honor that split keeps the default (unsupported) and the
+  // executor falls back to the serial fused calls.
+
+  /// Whether StageBatch / TrainStaged / PredictStaged are implemented and
+  /// honor the no-streaming-state-reads contract after staging.
+  virtual bool SupportsStagedBatches() const { return false; }
+
+  /// Assembles `queries` (features, neighbor gathers, labels) into the
+  /// predictor's staged buffer. One batch staged at a time.
+  virtual void StageBatch(const std::vector<PropertyQuery>& queries) {
+    (void)queries;
+  }
+
+  /// TrainBatch on the staged buffer; returns the batch loss.
+  virtual double TrainStaged() { return 0.0; }
+
+  /// PredictBatch on the staged buffer; returns the score matrix.
+  virtual Matrix PredictStaged() { return Matrix(0, 0); }
 
   /// Scores a batch of queries against current streaming state. Returns a
   /// (batch x out_dim) matrix; out_dim >= 2 with class scores per column.

@@ -94,6 +94,12 @@ void SplashPredictor::ObserveEdge(const TemporalEdge& e, size_t edge_index) {
   memory_.Observe(e, edge_index);
 }
 
+void SplashPredictor::ObserveBulk(const EdgeStream& stream, size_t begin,
+                                  size_t end) {
+  augmenter_.ObserveBulk(stream, begin, end);
+  memory_.ObserveBulk(stream, begin, end);
+}
+
 void SplashPredictor::SetTraining(bool training) {
   if (slim_) slim_->SetTraining(training);
 }
@@ -175,25 +181,39 @@ void SplashPredictor::AssembleBatch(
   });
 }
 
-Matrix SplashPredictor::PredictBatch(
-    const std::vector<PropertyQuery>& queries) {
-  if (!slim_ || queries.empty()) {
-    return Matrix(queries.size(), slim_ ? slim_->options().out_dim : 2);
-  }
-  AssembleBatch(queries);
-  return slim_->Forward(batch_);
-}
-
-double SplashPredictor::TrainBatch(
-    const std::vector<PropertyQuery>& queries) {
-  if (!slim_ || queries.empty()) return 0.0;
+void SplashPredictor::StageBatch(const std::vector<PropertyQuery>& queries) {
+  staged_rows_ = queries.size();
+  if (!slim_ || queries.empty()) return;
   AssembleBatch(queries);
   const int max_label = static_cast<int>(slim_->options().out_dim) - 1;
   labels_.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     labels_[i] = std::clamp(queries[i].class_label, 0, max_label);
   }
+}
+
+double SplashPredictor::TrainStaged() {
+  if (!slim_ || staged_rows_ == 0) return 0.0;
   return slim_->TrainStep(batch_, labels_);
+}
+
+Matrix SplashPredictor::PredictStaged() {
+  if (!slim_ || staged_rows_ == 0) {
+    return Matrix(staged_rows_, slim_ ? slim_->options().out_dim : 2);
+  }
+  return slim_->Forward(batch_);
+}
+
+Matrix SplashPredictor::PredictBatch(
+    const std::vector<PropertyQuery>& queries) {
+  StageBatch(queries);
+  return PredictStaged();
+}
+
+double SplashPredictor::TrainBatch(
+    const std::vector<PropertyQuery>& queries) {
+  StageBatch(queries);
+  return TrainStaged();
 }
 
 }  // namespace splash

@@ -51,8 +51,21 @@ class SplashPredictor : public TemporalPredictor {
   Status Prepare(const Dataset& ds, const ChronoSplit& split) override;
   void ResetState() override;
   void ObserveEdge(const TemporalEdge& e, size_t edge_index) override;
+  /// Fans the range out over the ThreadPool: augmenter replay by
+  /// destination shard (FeatureAugmenter::ObserveBulk), then the sharded
+  /// ring ingest (NeighborMemory::ObserveBulk).
+  void ObserveBulk(const EdgeStream& stream, size_t begin,
+                   size_t end) override;
   Matrix PredictBatch(const std::vector<PropertyQuery>& queries) override;
   double TrainBatch(const std::vector<PropertyQuery>& queries) override;
+  /// Staged batches (core/predictor.h): AssembleBatch reads streaming
+  /// state once in StageBatch; TrainStaged / PredictStaged touch only the
+  /// staged tensors and SLIM weights, so the executor may overlap them
+  /// with ObserveBulk of later edges.
+  bool SupportsStagedBatches() const override { return true; }
+  void StageBatch(const std::vector<PropertyQuery>& queries) override;
+  double TrainStaged() override;
+  Matrix PredictStaged() override;
   void SetTraining(bool training) override;
   size_t ParamCount() const override;
 
@@ -79,6 +92,7 @@ class SplashPredictor : public TemporalPredictor {
   // rows — so the k-sized gather scratch is per worker.
   SlimBatchInput batch_;
   std::vector<int> labels_;
+  size_t staged_rows_ = 0;  // rows of the staged batch (0 = none staged)
   std::vector<std::vector<NodeId>> worker_nbr_ids_;
   std::vector<std::vector<double>> worker_nbr_times_;
 };

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "eval/metrics.h"
+#include "eval/stream_executor.h"
 #include "eval/timing.h"
 #include "runtime/thread_pool.h"
 
@@ -47,6 +48,23 @@ void ApplyThreadKnob(size_t num_threads) {
   }
 }
 
+/// Predict sink appending each flush's scores (grow-only Resize + copy)
+/// and labels; `*rows` tracks the fill point. Shared by Fit (val window)
+/// and Evaluate (test window).
+StreamExecutor::PredictSink MakeScoreSink(const Dataset& ds, Matrix* scores,
+                                          std::vector<int>* labels,
+                                          size_t* rows) {
+  return [&ds, scores, labels, rows](const ReplayOp& op, const Matrix& out) {
+    const size_t n = op.query_end - op.query_begin;
+    scores->Resize(*rows + n, out.cols());
+    std::memcpy(scores->Row(*rows), out.data(), out.size() * sizeof(float));
+    *rows += n;
+    for (size_t q = op.query_begin; q < op.query_end; ++q) {
+      labels->push_back(ds.queries[q].class_label);
+    }
+  };
+}
+
 }  // namespace
 
 ChronoSplit MakeChronoSplit(const EdgeStream& stream, double val_frac,
@@ -63,61 +81,23 @@ FitResult StreamTrainer::Fit(TemporalPredictor* model, const Dataset& ds,
   ApplyThreadKnob(opts_.num_threads);
   WallTimer timer;
   FitResult result;
-  const size_t n_edges = ds.stream.size();
 
-  std::vector<PropertyQuery> train_batch, val_batch;
-  train_batch.reserve(opts_.batch_size);
-  val_batch.reserve(opts_.batch_size);
+  // The schedule depends only on (stream, queries, split, batch size):
+  // build it once, replay it every epoch.
+  std::vector<ReplayOp> ops;
+  BuildFitSchedule(ds, split, opts_.batch_size, &ops);
+  StreamExecutor executor({opts_.pipeline_depth});
 
   size_t epochs_since_best = 0;
   for (size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
     model->SetTraining(true);
     model->ResetState();
-    train_batch.clear();
-    val_batch.clear();
 
     Matrix val_scores;
     std::vector<int> val_labels;
     size_t val_rows = 0;
-    auto flush_train = [&] {
-      if (train_batch.empty()) return;
-      model->TrainBatch(train_batch);
-      train_batch.clear();
-    };
-    auto flush_val = [&] {
-      if (val_batch.empty()) return;
-      model->SetTraining(false);
-      const Matrix out = model->PredictBatch(val_batch);
-      model->SetTraining(true);
-      val_scores.Resize(val_rows + val_batch.size(), out.cols());
-      std::memcpy(val_scores.Row(val_rows), out.data(),
-                  out.size() * sizeof(float));
-      val_rows += val_batch.size();
-      for (const PropertyQuery& q : val_batch) {
-        val_labels.push_back(q.class_label);
-      }
-      val_batch.clear();
-    };
-
-    size_t qi = 0;
-    for (size_t i = 0; i <= n_edges; ++i) {
-      const double horizon =
-          i < n_edges ? ds.stream[i].time : split.val_end_time;
-      while (qi < ds.queries.size() && ds.queries[qi].time <= horizon) {
-        const PropertyQuery& q = ds.queries[qi++];
-        if (q.time <= split.train_end_time) {
-          train_batch.push_back(q);
-          if (train_batch.size() >= opts_.batch_size) flush_train();
-        } else if (q.time <= split.val_end_time) {
-          val_batch.push_back(q);
-          if (val_batch.size() >= opts_.batch_size) flush_val();
-        }
-      }
-      if (i == n_edges || ds.stream[i].time > split.val_end_time) break;
-      model->ObserveEdge(ds.stream[i], i);
-    }
-    flush_train();
-    flush_val();
+    executor.Run(model, ds.stream, ds.queries, ops, /*training=*/true,
+                 MakeScoreSink(ds, &val_scores, &val_labels, &val_rows));
     ++result.epochs_run;
 
     const double val_metric =
@@ -143,40 +123,16 @@ EvalResult StreamTrainer::Evaluate(TemporalPredictor* model,
   model->SetTraining(false);
   model->ResetState();
 
-  const size_t n_edges = ds.stream.size();
-  std::vector<PropertyQuery> batch;
-  batch.reserve(opts_.batch_size);
+  std::vector<ReplayOp> ops;
+  BuildEvalSchedule(ds, split, opts_.batch_size, &ops);
+  StreamExecutor executor({opts_.pipeline_depth});
+
   Matrix scores;
   std::vector<int> labels;
   size_t rows = 0;
-
-  auto flush = [&] {
-    if (batch.empty()) return;
-    WallTimer predict_timer;
-    const Matrix out = model->PredictBatch(batch);
-    result.predict_seconds += predict_timer.Seconds();
-    scores.Resize(rows + batch.size(), out.cols());
-    std::memcpy(scores.Row(rows), out.data(), out.size() * sizeof(float));
-    rows += batch.size();
-    for (const PropertyQuery& q : batch) labels.push_back(q.class_label);
-    batch.clear();
-  };
-
-  size_t qi = 0;
-  for (size_t i = 0; i <= n_edges; ++i) {
-    const double horizon =
-        i < n_edges ? ds.stream[i].time : ds.stream.max_time() + 1.0;
-    while (qi < ds.queries.size() && ds.queries[qi].time <= horizon) {
-      const PropertyQuery& q = ds.queries[qi++];
-      if (q.time > split.val_end_time) {
-        batch.push_back(q);
-        if (batch.size() >= opts_.batch_size) flush();
-      }
-    }
-    if (i == n_edges) break;
-    model->ObserveEdge(ds.stream[i], i);
-  }
-  flush();
+  executor.Run(model, ds.stream, ds.queries, ops, /*training=*/false,
+               MakeScoreSink(ds, &scores, &labels, &rows));
+  result.predict_seconds = executor.predict_seconds();
 
   result.num_queries = rows;
   result.metric = rows > 0 ? TaskMetric(ds.task, scores, labels) : 0.0;

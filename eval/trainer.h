@@ -39,6 +39,15 @@ struct TrainerOptions {
   /// in effect afterwards (the pool is global, not per-trainer). 1
   /// reproduces the serial numbers bit-for-bit.
   size_t num_threads = 0;
+  /// Stages in flight for the pipelined executor (eval/stream_executor.h):
+  /// 0 runs the historical serial loop (per-edge ObserveEdge + fused batch
+  /// calls — the determinism reference, bit-identical to the pre-executor
+  /// trainer); >= 1 double-buffers, overlapping ObserveBulk of batch k+1
+  /// with the staged compute of batch k. At SPLASH_THREADS=1 depth 1 is
+  /// bit-identical to depth 0 (every bulk path degrades to the serial
+  /// loop); at higher thread counts results are deterministic per
+  /// (threads, depth) pair.
+  size_t pipeline_depth = 1;
 };
 
 struct FitResult {

@@ -1,0 +1,60 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "runtime/pipeline.h"
+
+namespace splash {
+
+PipelineThread::PipelineThread() : worker_([this] { Loop(); }) {}
+
+PipelineThread::~PipelineThread() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  worker_.join();
+}
+
+void PipelineThread::Submit(Fn fn, void* ctx) {
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    // Contract: the slot is idle (one job in flight). If a caller races
+    // ahead anyway, serialize instead of dropping the job.
+    done_.wait(lk, [this] { return !busy_ && fn_ == nullptr; });
+    fn_ = fn;
+    ctx_ = ctx;
+  }
+  wake_.notify_one();
+}
+
+void PipelineThread::Wait() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  done_.wait(lk, [this] { return !busy_ && fn_ == nullptr; });
+}
+
+void PipelineThread::Loop() {
+  for (;;) {
+    Fn fn;
+    void* ctx;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      wake_.wait(lk, [this] { return shutdown_ || fn_ != nullptr; });
+      // Drain a queued job even when shutting down: dropping it would strand
+      // its side effects and hang any thread blocked in Wait().
+      if (fn_ == nullptr) return;  // only reachable via shutdown
+      fn = fn_;
+      ctx = ctx_;
+      fn_ = nullptr;
+      ctx_ = nullptr;
+      busy_ = true;
+    }
+    fn(ctx);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      busy_ = false;
+    }
+    done_.notify_all();
+  }
+}
+
+}  // namespace splash

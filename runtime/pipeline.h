@@ -1,0 +1,65 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// PipelineThread: the one-slot background stage of the pipelined streaming
+// executor (eval/stream_executor.h). It owns a single persistent thread and
+// at most ONE job in flight — exactly what double-buffering needs: while
+// the caller computes on batch k, the pipeline thread ingests the edges of
+// batch k+1; Wait() is the hand-off barrier before the caller touches the
+// streaming state again.
+//
+// Design rules (matching runtime/thread_pool.h):
+//   - Submit() takes a function pointer + context pointer, never a
+//     std::function, so the steady-state submit path performs zero heap
+//     allocations (allocation_steady_state_test gates this);
+//   - Submit() requires the slot to be idle (call Wait() first); one slot
+//     is a feature, not a limitation — depth > 1 would let ingest run past
+//     state the compute stage still reads;
+//   - a job may itself issue ThreadPool::ParallelFor: external submissions
+//     to the pool serialize on its client mutex, so the ingest stage and
+//     the compute stage can both fan out without racing the pool.
+
+#ifndef SPLASH_RUNTIME_PIPELINE_H_
+#define SPLASH_RUNTIME_PIPELINE_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace splash {
+
+class PipelineThread {
+ public:
+  using Fn = void (*)(void* ctx);
+
+  PipelineThread();
+  ~PipelineThread();
+
+  PipelineThread(const PipelineThread&) = delete;
+  PipelineThread& operator=(const PipelineThread&) = delete;
+
+  /// Hands `fn(ctx)` to the background thread. The slot must be idle
+  /// (construction, or after a Wait()); `ctx` must stay alive until the
+  /// matching Wait() returns.
+  void Submit(Fn fn, void* ctx);
+
+  /// Blocks until the in-flight job (if any) finished. Returns immediately
+  /// when idle. This is the pipeline barrier: after Wait() the caller owns
+  /// all state the job touched.
+  void Wait();
+
+ private:
+  void Loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Fn fn_ = nullptr;   // non-null while a job is queued or running
+  void* ctx_ = nullptr;
+  bool busy_ = false;
+  bool shutdown_ = false;
+  std::thread worker_;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_RUNTIME_PIPELINE_H_

@@ -66,6 +66,9 @@ void ThreadPool::Launch(size_t begin, size_t end, size_t grain, Thunk thunk,
     return;
   }
 
+  // One job at a time across external submitters; held until the job's
+  // chunks all finished so two clients' chunk sets never interleave.
+  std::lock_guard<std::mutex> client(client_mutex_);
   {
     std::lock_guard<std::mutex> lk(mutex_);
     job_thunk_ = thunk;

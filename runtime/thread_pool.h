@@ -50,8 +50,11 @@ class ThreadPool {
   /// into chunks of `grain` indices (the last chunk may be short). Blocks
   /// until every chunk finished. worker_index < num_threads() identifies
   /// the executing worker — use it to index per-worker scratch. Safe to
-  /// call recursively (inner calls run inline on the calling worker) but
-  /// NOT from two external threads at once.
+  /// call recursively (inner calls run inline on the calling worker) and
+  /// from multiple external threads: external submissions serialize on a
+  /// client mutex, so the pipelined executor's ingest thread and the main
+  /// compute thread can both fan out (their jobs time-share the pool; each
+  /// job still runs with the full deterministic chunk assignment).
   template <typename Fn>
   void ParallelFor(size_t begin, size_t end, size_t grain, Fn&& fn) {
     Launch(begin, end, grain, &InvokeThunk<Fn>, &fn);
@@ -94,6 +97,10 @@ class ThreadPool {
 
   const size_t num_threads_;
   std::vector<std::thread> workers_;  // num_threads_ - 1 helpers
+
+  // Serializes whole jobs submitted by distinct external threads; nested
+  // (inline) calls never take it, so there is no self-deadlock.
+  std::mutex client_mutex_;
 
   // Current job, published under mutex_ before waking the helpers.
   std::mutex mutex_;

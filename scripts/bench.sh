@@ -6,7 +6,10 @@
 # The *Threads benchmarks size the runtime/ pool themselves per Arg, so a
 # single run records the threads=1 vs threads=N row pairs
 # (BM_SlimTrainStepThreads/{1,2,4}, BM_ChronoReplayThreads/{1,4},
+# BM_FeatureReplayBulkThreads/{1,4},
 # BM_NeighborMemoryObserveBulkThreads/{1,4}) that gate the parallel layer.
+# CI re-runs the pinned rows on every push and diffs cpu_time against the
+# committed snapshot via scripts/check_bench_regression.py.
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build-bench)
 
@@ -15,22 +18,34 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-bench}"
 
-cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+# SPLASH_NATIVE=OFF so the committed snapshot and the CI regression job
+# (which must build portably for heterogeneous runners) compare the same
+# codegen; local -march=native explorations can pass a different build dir.
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
+  -DSPLASH_NATIVE=OFF
 cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_substrate
 
 # Non-sweep rows are pinned to one thread so the committed baseline is
 # host-concurrency-independent; the *Threads sweeps size the pool
-# themselves per Arg and ignore this.
-SPLASH_THREADS="${SPLASH_THREADS:-1}" "${build_dir}/bench_micro_substrate" \
+# themselves per Arg and ignore this. The host core count and the pinned
+# SPLASH_THREADS are recorded in the JSON context (google-benchmark's
+# num_cpus reports what the process sees, which on capped CI runners is
+# not the comparison-relevant physical count) so rows stay comparable
+# across hosts.
+splash_threads="${SPLASH_THREADS:-1}"
+SPLASH_THREADS="${splash_threads}" "${build_dir}/bench_micro_substrate" \
   --benchmark_format=json \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
+  --benchmark_context=host_cores="$(nproc)" \
+  --benchmark_context=splash_threads="${splash_threads}" \
   > "${repo_root}/BENCH_micro.json"
 
 # Sanity: the thread-sweep row pairs must be present, or the scaling gate
 # has silently vanished from the snapshot.
 for row in "BM_SlimTrainStepThreads/1" "BM_SlimTrainStepThreads/4" \
-           "BM_ChronoReplayThreads/1" "BM_ChronoReplayThreads/4"; do
+           "BM_ChronoReplayThreads/1" "BM_ChronoReplayThreads/4" \
+           "BM_FeatureReplayBulkThreads/1" "BM_FeatureReplayBulkThreads/4"; do
   if ! grep -q "\"${row}" "${repo_root}/BENCH_micro.json"; then
     echo "ERROR: ${row} missing from BENCH_micro.json" >&2
     exit 1

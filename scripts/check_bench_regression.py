@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""CI gate: compare bench_micro_substrate cpu_time against the committed
+baseline (BENCH_micro.json) and fail on regressions beyond a threshold.
+
+cpu_time (not real_time) is the comparison axis because the CI container is
+single-core: wall time cannot show parallel-layer regressions there, while
+main-thread CPU time per op is stable and host-concurrency-independent for
+the pinned rows (DESIGN.md section 4).
+
+Usage:
+  check_bench_regression.py --baseline BENCH_micro.json --current cur.json
+      [--max-regress 0.15] [--rows ROW ...]
+  check_bench_regression.py --self-test --baseline BENCH_micro.json
+
+Rows are matched by run_name, so both raw runs and aggregates-only runs
+("<name>_mean") resolve; when a run has aggregates, the mean is used. A
+pinned row missing from either file fails the gate — a silently vanished
+row is a vanished gate.
+
+--self-test exercises the comparator against fabricated data derived from
+the baseline: an identical copy must pass, and a copy with one pinned row
+hand-slowed by 30% must fail. CI runs it before the real comparison so the
+gate can never rot into always-green.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+# One row per hot-path family: the O(1)-per-edge ring write (the
+# cache-resident 1k-node arg — the larger args measure the host's DRAM
+# latency more than the code), the SLIM train step, the full chronological
+# replay, and the augmenter bulk replay. The last row matters because with
+# pipeline_depth >= 1 the replay bench runs ingest on the PipelineThread,
+# outside BM_ChronoReplayThreads' main-thread cpu_time — the dedicated
+# row times ObserveBulk on the measuring thread, so ingest regressions
+# cannot hide behind the pipeline.
+DEFAULT_ROWS = [
+    "BM_NeighborMemoryObserve/1000",
+    "BM_SlimTrainStepThreads/1",
+    "BM_ChronoReplayThreads/1",
+    "BM_FeatureReplayBulkThreads/1",
+]
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_cpu_times(doc):
+    """Maps run_name -> cpu_time in ns, preferring mean aggregates."""
+    times = {}
+    for row in doc.get("benchmarks", []):
+        run_name = row.get("run_name", row.get("name", ""))
+        if row.get("run_type") == "aggregate" and row.get(
+                "aggregate_name") != "mean":
+            continue
+        if run_name in times and row.get("run_type") != "aggregate":
+            continue  # keep the aggregate once seen
+        scale = _UNIT_NS.get(row.get("time_unit", "ns"))
+        if scale is None or "cpu_time" not in row:
+            continue
+        times[run_name] = row["cpu_time"] * scale
+    return times
+
+
+def compare(baseline, current, rows, max_regress, calibrate=None):
+    """Returns (ok, report_lines).
+
+    With `calibrate`, both sides are normalized by that row's cpu_time
+    before comparing — an ALU-bound row (BM_DegreeEncode in CI) cancels the
+    host's single-core speed, so a baseline recorded on one CPU model stays
+    comparable on another and the threshold measures the *relative* cost of
+    the pinned op, not the CPU lottery of heterogeneous runners.
+    """
+    base = load_cpu_times(baseline)
+    cur = load_cpu_times(current)
+    ok = True
+    lines = []
+    scale = 1.0
+    if calibrate is not None:
+        if calibrate not in base or calibrate not in cur:
+            return False, ["calibration row %s missing from %s: FAIL" %
+                           (calibrate,
+                            "baseline" if calibrate not in base
+                            else "current run")]
+        scale = base[calibrate] / cur[calibrate]
+        lines.append("host-speed calibration via %s: current cpu_times "
+                     "scaled by %.3f" % (calibrate, scale))
+    lines.append("%-36s %12s %12s %8s  %s" %
+                 ("row", "base cpu", "cur cpu", "ratio", "verdict"))
+    for row in rows:
+        if row not in base or row not in cur:
+            where = "baseline" if row not in base else "current run"
+            lines.append("%-36s missing from %s: FAIL (the gate row "
+                         "vanished)" % (row, where))
+            ok = False
+            continue
+        scaled = cur[row] * scale
+        ratio = scaled / base[row] if base[row] > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + max_regress:
+            verdict = "REGRESSION (> +%d%%)" % round(max_regress * 100)
+            ok = False
+        lines.append("%-36s %10.1fns %10.1fns %8.3f  %s" %
+                     (row, base[row], scaled, ratio, verdict))
+    return ok, lines
+
+
+def self_test(baseline, rows, max_regress, calibrate):
+    """The comparator must pass an identical copy and fail a hand-slowed one."""
+    same = copy.deepcopy(baseline)
+    ok_same, lines = compare(baseline, same, rows, max_regress, calibrate)
+    if not ok_same:
+        print("\n".join(lines), file=sys.stderr)
+        print("self-test FAILED: identical run did not pass", file=sys.stderr)
+        return False
+
+    slowed = copy.deepcopy(baseline)
+    target = rows[0]
+    hit = False
+    for row in slowed.get("benchmarks", []):
+        if row.get("run_name", row.get("name", "")) == target:
+            row["cpu_time"] = row["cpu_time"] * (1.0 + 2 * max_regress)
+            hit = True
+    if not hit:
+        print("self-test FAILED: pinned row %s absent from baseline" % target,
+              file=sys.stderr)
+        return False
+    ok_slowed, _ = compare(baseline, slowed, rows, max_regress, calibrate)
+    if ok_slowed:
+        print("self-test FAILED: +%d%% hand-slowed row passed the gate" %
+              round(200 * max_regress), file=sys.stderr)
+        return False
+    print("self-test passed: identical run ok, hand-slowed row rejected")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current")
+    ap.add_argument("--max-regress", type=float, default=0.15)
+    ap.add_argument("--rows", nargs="+", default=DEFAULT_ROWS)
+    ap.add_argument("--calibrate", default=None, metavar="ROW",
+                    help="normalize both sides by this row's cpu_time to "
+                         "cancel host single-core speed (CI uses "
+                         "BM_DegreeEncode)")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.self_test:
+        sys.exit(0 if self_test(baseline, args.rows, args.max_regress,
+                                args.calibrate) else 1)
+
+    if not args.current:
+        ap.error("--current is required unless --self-test")
+    with open(args.current) as f:
+        current = json.load(f)
+
+    ok, lines = compare(baseline, current, args.rows, args.max_regress,
+                        args.calibrate)
+    print("\n".join(lines))
+    if not ok:
+        print("\nbench regression gate FAILED (threshold +%d%% cpu_time)" %
+              round(args.max_regress * 100), file=sys.stderr)
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,8 +14,10 @@
 #include <new>
 #include <vector>
 
+#include "core/feature_augmentation.h"
 #include "core/slim.h"
 #include "graph/neighbor_memory.h"
+#include "runtime/pipeline.h"
 #include "runtime/thread_pool.h"
 #include "tensor/rng.h"
 
@@ -111,6 +113,71 @@ TEST(AllocationSteadyStateTest, SlimTrainStepIsAllocationFreeWithThreads) {
   });
   EXPECT_EQ(allocs, 0u);
   ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(AllocationSteadyStateTest, FeatureAugmenterObserveBulkIsAllocationFree) {
+  // The bulk replay fan-out (shard partition + deferred reduction) must be
+  // grow-only: after a warm-up pass sized every chunk's scratch and
+  // deferred list, repeated ObserveBulk calls allocate nothing.
+  ThreadPool::SetGlobalThreads(4);
+  const size_t n_seen = 64, n_unseen = 1024;
+  EdgeStream stream;
+  double t = 0.0;
+  for (size_t i = 0; i < 128; ++i) {
+    stream
+        .Append(TemporalEdge(static_cast<NodeId>(i % n_seen),
+                             static_cast<NodeId>((i * 5) % n_seen), t += 1.0))
+        .ok();
+  }
+  const double fit_time = t;
+  Rng rng(11);
+  for (size_t i = 0; i < 20000; ++i) {
+    // Seen-seen, unseen-seen, and unseen-unseen edges: exercises the
+    // degree-only path, the inline folds, and the deferred reduction.
+    const NodeId u = static_cast<NodeId>(
+        rng.Uniform() < 0.5 ? n_seen + rng.UniformInt(n_unseen)
+                            : rng.UniformInt(n_seen));
+    const NodeId v = static_cast<NodeId>(
+        rng.Uniform() < 0.5 ? n_seen + rng.UniformInt(n_unseen)
+                            : rng.UniformInt(n_seen));
+    stream.Append(TemporalEdge(u, v, t += 1.0)).ok();
+  }
+
+  FeatureAugmenterOptions opts;
+  opts.feature_dim = 16;
+  FeatureAugmenter augmenter(opts);
+  augmenter.FitSeen(stream, fit_time);
+  // Warm-up: grows the node tables, chunk scratch, and deferred lists to
+  // this stream's high-water mark.
+  augmenter.ObserveBulk(stream, 0, stream.size());
+  augmenter.Reset();
+
+  const size_t allocs = CountAllocations(
+      [&] { augmenter.ObserveBulk(stream, 0, stream.size()); });
+  EXPECT_EQ(allocs, 0u);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(AllocationSteadyStateTest, PipelineThreadSubmitWaitIsAllocationFree) {
+  // The executor's double-buffer hand-off is a function-pointer + context
+  // slot: a thousand submit/wait cycles must not touch the heap.
+  PipelineThread pipe;
+  std::atomic<size_t> ran{0};
+  auto bump = [](void* ctx) {
+    static_cast<std::atomic<size_t>*>(ctx)->fetch_add(
+        1, std::memory_order_relaxed);
+  };
+  pipe.Submit(bump, &ran);
+  pipe.Wait();
+
+  const size_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 1000; ++i) {
+      pipe.Submit(bump, &ran);
+      pipe.Wait();
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(ran.load(), 1001u);
 }
 
 }  // namespace

@@ -92,6 +92,31 @@ TEST(ThreadPoolTest, WorkerRngSeedIsChunkDeterministic) {
   EXPECT_NE(WorkerRngSeed(6, 3, 2), WorkerRngSeed(7, 3, 2));
 }
 
+TEST(ThreadPoolTest, ConcurrentExternalSubmittersSerializeCorrectly) {
+  // The pipelined executor submits from two external threads at once (the
+  // main compute thread and the ingest PipelineThread): jobs must
+  // serialize on the client mutex, never interleave chunks, and each sum
+  // every one of its own indices exactly once.
+  ThreadPool pool(4);
+  std::atomic<int> failures{0};
+  auto hammer = [&](size_t offset) {
+    for (int round = 0; round < 100; ++round) {
+      std::atomic<size_t> total{0};
+      pool.ParallelFor(offset, offset + 128, 8,
+                       [&](size_t b, size_t e, size_t) {
+                         for (size_t i = b; i < e; ++i) total.fetch_add(i);
+                       });
+      const size_t lo = offset, hi = offset + 128;
+      const size_t want = (hi * (hi - 1) - lo * (lo - 1)) / 2;
+      if (total.load() != want) failures.fetch_add(1);
+    }
+  };
+  std::thread other([&] { hammer(1000); });
+  hammer(0);
+  other.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(ThreadPoolTest, SetGlobalThreadsResizesPool) {
   ThreadPool::SetGlobalThreads(3);
   EXPECT_EQ(ThreadPool::GlobalThreads(), 3u);
