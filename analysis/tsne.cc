@@ -51,6 +51,90 @@ void FitConditional(const std::vector<double>& sqdist, size_t n, size_t i,
   }
 }
 
+/// Top-2 PCA projection of the rows of `x` into *y (n x 2), computed by
+/// power iteration with deflation in double precision. The embedding is
+/// scaled so the first component has stddev 1e-4 — the same tiny
+/// magnitude as the random fallback, and load-bearing: the auto learning
+/// rate in RunTsne assumes this init scale (a larger init reintroduces
+/// the first-iteration overshoot the Jacobi rewrite fixed). Returns false
+/// when the data is degenerate (the caller falls back to random init).
+bool PcaInit(const Matrix& x, Matrix* y, Rng* rng) {
+  const size_t n = x.rows(), d = x.cols();
+  if (n < 2 || d == 0) return false;
+
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x.Row(i);
+    for (size_t t = 0; t < d; ++t) mean[t] += row[t];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  std::vector<double> cov(d * d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x.Row(i);
+    for (size_t a = 0; a < d; ++a) {
+      const double xa = row[a] - mean[a];
+      for (size_t b = a; b < d; ++b) {
+        cov[a * d + b] += xa * (row[b] - mean[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < a; ++b) cov[a * d + b] = cov[b * d + a];
+  }
+
+  std::vector<double> comp(2 * d, 0.0);
+  std::vector<double> next(d, 0.0);
+  for (int c = 0; c < 2; ++c) {
+    double* v = comp.data() + c * d;
+    for (size_t t = 0; t < d; ++t) {
+      float g;
+      rng->FillGaussian(&g, 1, 1.0f);
+      v[t] = g;
+    }
+    for (int iter = 0; iter < 100; ++iter) {
+      // Deflate: remove the projection onto the previous component.
+      if (c == 1) {
+        const double* v0 = comp.data();
+        double dot = 0.0;
+        for (size_t t = 0; t < d; ++t) dot += v[t] * v0[t];
+        for (size_t t = 0; t < d; ++t) v[t] -= dot * v0[t];
+      }
+      for (size_t a = 0; a < d; ++a) {
+        double acc = 0.0;
+        const double* row = cov.data() + a * d;
+        for (size_t b = 0; b < d; ++b) acc += row[b] * v[b];
+        next[a] = acc;
+      }
+      double norm = 0.0;
+      for (size_t t = 0; t < d; ++t) norm += next[t] * next[t];
+      norm = std::sqrt(norm);
+      if (norm < 1e-30) return false;  // degenerate direction
+      for (size_t t = 0; t < d; ++t) v[t] = next[t] / norm;
+    }
+  }
+
+  double var0 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float* row = x.Row(i);
+    for (int c = 0; c < 2; ++c) {
+      const double* v = comp.data() + c * d;
+      double proj = 0.0;
+      for (size_t t = 0; t < d; ++t) proj += (row[t] - mean[t]) * v[t];
+      (*y)(i, c) = static_cast<float>(proj);
+      if (c == 0) var0 += proj * proj;
+    }
+  }
+  const double std0 = std::sqrt(var0 / static_cast<double>(n));
+  if (std0 < 1e-30) return false;
+  const float scale = static_cast<float>(1e-4 / std0);
+  for (size_t i = 0; i < n; ++i) {
+    (*y)(i, 0) *= scale;
+    (*y)(i, 1) *= scale;
+  }
+  return true;
+}
+
 }  // namespace
 
 Matrix RunTsne(const Matrix& x, const TsneOptions& opts, Rng* rng) {
@@ -94,10 +178,24 @@ Matrix RunTsne(const Matrix& x, const TsneOptions& opts, Rng* rng) {
     for (double& v : p) v = std::max(v * inv, 1e-12);
   }
 
-  rng->FillGaussian(y.data(), y.size(), 1e-2f);
+  if (!opts.pca_init || !PcaInit(x, &y, rng)) {
+    rng->FillGaussian(y.data(), y.size(), 1e-4f);
+  }
+  // Auto learning rate (the sklearn heuristic): scales with n so the first
+  // exaggerated steps stay stable from the tiny init. A fixed rate far
+  // above it made the first iteration overshoot by orders of magnitude,
+  // after which the embedding froze in a scrambled layout — the historical
+  // "2-D silhouette trails raw" failure.
+  const double learning_rate =
+      opts.learning_rate > 0.0
+          ? opts.learning_rate
+          : std::max(static_cast<double>(n) /
+                         (4.0 * std::max(1.0, opts.exaggeration)),
+                     50.0);
   Matrix gains = Matrix::Ones(n, 2);
   Matrix velocity(n, 2);
   std::vector<double> qnum(n * n);
+  std::vector<double> grad(n * 2);
 
   for (size_t iter = 0; iter < opts.iterations; ++iter) {
     const double exaggeration =
@@ -119,6 +217,9 @@ Matrix RunTsne(const Matrix& x, const TsneOptions& opts, Rng* rng) {
     }
     const double inv_qsum = qsum > 0.0 ? 1.0 / qsum : 0.0;
 
+    // Gradients from a frozen snapshot of y, applied afterwards (Jacobi).
+    // Updating points in place while later gradients read them couples the
+    // per-point steps and destabilizes the exaggeration phase.
     for (size_t i = 0; i < n; ++i) {
       double grad0 = 0.0, grad1 = 0.0;
       for (size_t j = 0; j < n; ++j) {
@@ -129,15 +230,17 @@ Matrix RunTsne(const Matrix& x, const TsneOptions& opts, Rng* rng) {
         grad0 += mult * (static_cast<double>(y(i, 0)) - y(j, 0));
         grad1 += mult * (static_cast<double>(y(i, 1)) - y(j, 1));
       }
+      grad[i * 2] = 4.0 * grad0;
+      grad[i * 2 + 1] = 4.0 * grad1;
+    }
+    for (size_t i = 0; i < n; ++i) {
       for (int c = 0; c < 2; ++c) {
-        const double grad = 4.0 * (c == 0 ? grad0 : grad1);
-        const bool same_sign =
-            (grad > 0.0) == (velocity(i, c) > 0.0f);
+        const double g = grad[i * 2 + c];
+        const bool same_sign = (g > 0.0) == (velocity(i, c) > 0.0f);
         gains(i, c) = std::max(
             0.01f, same_sign ? gains(i, c) * 0.8f : gains(i, c) + 0.2f);
         velocity(i, c) = static_cast<float>(
-            momentum * velocity(i, c) -
-            opts.learning_rate * gains(i, c) * grad);
+            momentum * velocity(i, c) - learning_rate * gains(i, c) * g);
         y(i, c) += velocity(i, c);
       }
     }
@@ -156,6 +259,28 @@ Matrix RunTsne(const Matrix& x, const TsneOptions& opts, Rng* rng) {
     }
   }
   return y;
+}
+
+TsneSweepResult RunTsnePerplexitySweep(
+    const Matrix& x, const TsneOptions& base,
+    const std::vector<double>& perplexities, uint64_t seed,
+    const TsneScoreFn& score) {
+  TsneSweepResult best;
+  bool first = true;
+  for (const double p : perplexities) {
+    TsneOptions opts = base;
+    opts.perplexity = p;
+    Rng rng(seed);  // identical init per candidate: only perplexity varies
+    Matrix emb = RunTsne(x, opts, &rng);
+    const double s = score(emb);
+    if (first || s > best.score) {
+      best.embedding = std::move(emb);
+      best.perplexity = p;
+      best.score = s;
+      first = false;
+    }
+  }
+  return best;
 }
 
 }  // namespace splash

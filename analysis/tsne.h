@@ -1,12 +1,17 @@
 // Copyright 2026 The SPLASH Reproduction Authors.
 //
 // Exact (O(n^2)) t-SNE for the Fig. 14 qualitative study. Intended for a
-// few hundred to a few thousand points.
+// few hundred to a few thousand points. Defaults to PCA initialization
+// (top-2 principal components, scaled small), which preserves the global
+// cluster layout random init scrambles — the fix for the 2-D silhouettes
+// trailing the raw-representation silhouettes (tsne_test pins the gap).
 
 #ifndef SPLASH_ANALYSIS_TSNE_H_
 #define SPLASH_ANALYSIS_TSNE_H_
 
 #include <cstddef>
+#include <functional>
+#include <vector>
 
 #include "tensor/matrix.h"
 #include "tensor/rng.h"
@@ -16,13 +21,38 @@ namespace splash {
 struct TsneOptions {
   size_t iterations = 500;
   double perplexity = 30.0;
-  double learning_rate = 100.0;
+  /// <= 0 picks the auto rate max(n / (4 * exaggeration), 50) — stable
+  /// from the small init at any point count; explicit values are honored.
+  double learning_rate = 0.0;
   size_t exaggeration_iters = 100;  // early exaggeration phase length
   double exaggeration = 4.0;
+  /// Initialize from the top-2 principal components (deterministic power
+  /// iteration) instead of a random Gaussian. Falls back to random when
+  /// the data is degenerate (zero variance).
+  bool pca_init = true;
 };
 
 /// Embeds the rows of `x` into 2-D. Returns an (n x 2) matrix.
 Matrix RunTsne(const Matrix& x, const TsneOptions& opts, Rng* rng);
+
+/// Scores a candidate 2-D embedding; higher is better. The Fig. 14 bench
+/// plugs in the silhouette against node classes.
+using TsneScoreFn = std::function<double(const Matrix& embedding)>;
+
+struct TsneSweepResult {
+  Matrix embedding;
+  double perplexity = 0.0;
+  double score = 0.0;
+};
+
+/// The perplexity sweep hook: runs t-SNE once per candidate perplexity
+/// (identical seed and init each time, so runs differ only in perplexity)
+/// and returns the embedding maximizing `score`. `perplexities` must be
+/// non-empty.
+TsneSweepResult RunTsnePerplexitySweep(
+    const Matrix& x, const TsneOptions& base,
+    const std::vector<double>& perplexities, uint64_t seed,
+    const TsneScoreFn& score);
 
 }  // namespace splash
 

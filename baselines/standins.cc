@@ -197,23 +197,41 @@ void TgnnStandin::AssembleBatch(const std::vector<PropertyQuery>& queries) {
   });
 }
 
-Matrix TgnnStandin::PredictBatch(const std::vector<PropertyQuery>& queries) {
-  if (!backbone_ || queries.empty()) {
-    return Matrix(queries.size(), backbone_ ? backbone_->options().out_dim : 2);
-  }
+void TgnnStandin::StageBatch(const std::vector<PropertyQuery>& queries) {
+  staged_rows_ = queries.size();
+  if (!backbone_ || queries.empty()) return;
   AssembleBatch(queries);
-  return backbone_->Forward(batch_);
-}
-
-double TgnnStandin::TrainBatch(const std::vector<PropertyQuery>& queries) {
-  if (!backbone_ || queries.empty()) return 0.0;
-  AssembleBatch(queries);
+  // Labels are staged unconditionally (a B-int clamp, noise next to the
+  // feature gathers) so TrainStaged is valid after ANY StageBatch — a
+  // mode-gated skip would leave stale labels for callers that train
+  // without the trainer's SetTraining dance.
   const int max_label = static_cast<int>(backbone_->options().out_dim) - 1;
   labels_.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     labels_[i] = std::clamp(queries[i].class_label, 0, max_label);
   }
+}
+
+double TgnnStandin::TrainStaged() {
+  if (!backbone_ || staged_rows_ == 0) return 0.0;
   return backbone_->TrainStep(batch_, labels_);
+}
+
+Matrix TgnnStandin::PredictStaged() {
+  if (!backbone_ || staged_rows_ == 0) {
+    return Matrix(staged_rows_, backbone_ ? backbone_->options().out_dim : 2);
+  }
+  return backbone_->Forward(batch_);
+}
+
+Matrix TgnnStandin::PredictBatch(const std::vector<PropertyQuery>& queries) {
+  StageBatch(queries);
+  return PredictStaged();
+}
+
+double TgnnStandin::TrainBatch(const std::vector<PropertyQuery>& queries) {
+  StageBatch(queries);
+  return TrainStaged();
 }
 
 void TgnnStandin::SetTraining(bool training) {
@@ -288,17 +306,22 @@ void SladeStandin::ObserveEdge(const TemporalEdge& e, size_t edge_index) {
   update(e.dst, e.src);
 }
 
-Matrix SladeStandin::PredictBatch(const std::vector<PropertyQuery>& queries) {
-  Matrix out(queries.size(), 2);
+void SladeStandin::StageBatch(const std::vector<PropertyQuery>& queries) {
+  staged_scores_.Resize(queries.size(), 2);
   for (size_t i = 0; i < queries.size(); ++i) {
     const NodeId v = queries[i].node;
     float score = 0.0f;
     if (v < active_.size() && active_[v]) {
       score = novelty_ema_[v] + 0.3f * surprise_ema_[v];
     }
-    out(i, 1) = score;  // col 1 - col 0 is the anomaly score downstream
+    staged_scores_(i, 0) = 0.0f;
+    staged_scores_(i, 1) = score;  // col 1 - col 0 is the anomaly score
   }
-  return out;
+}
+
+Matrix SladeStandin::PredictBatch(const std::vector<PropertyQuery>& queries) {
+  StageBatch(queries);
+  return PredictStaged();
 }
 
 }  // namespace splash

@@ -55,6 +55,15 @@ class TgnnStandin : public TemporalPredictor {
   void ObserveEdge(const TemporalEdge& e, size_t edge_index) override;
   Matrix PredictBatch(const std::vector<PropertyQuery>& queries) override;
   double TrainBatch(const std::vector<PropertyQuery>& queries) override;
+  /// Staged batches (core/predictor.h): StageBatch reads the neighbor
+  /// rings / node memory once; TrainStaged / PredictStaged touch only the
+  /// staged tensors and the backbone weights, so the pipelined executor
+  /// can overlap them with ObserveBulk of later edges instead of falling
+  /// back to the serial path.
+  bool SupportsStagedBatches() const override { return true; }
+  void StageBatch(const std::vector<PropertyQuery>& queries) override;
+  double TrainStaged() override;
+  Matrix PredictStaged() override;
   void SetTraining(bool training) override;
   size_t ParamCount() const override;
 
@@ -84,6 +93,7 @@ class TgnnStandin : public TemporalPredictor {
 
   SlimBatchInput batch_;
   std::vector<int> labels_;
+  size_t staged_rows_ = 0;  // rows of the staged batch (0 = none staged)
   // Per-worker gather scratch: batches are assembled in parallel on the
   // runtime/ ThreadPool (reads only; disjoint output rows per chunk).
   std::vector<std::vector<NodeId>> worker_nbr_ids_;
@@ -105,6 +115,13 @@ class SladeStandin : public TemporalPredictor {
   void ResetState() override;
   void ObserveEdge(const TemporalEdge& e, size_t edge_index) override;
   Matrix PredictBatch(const std::vector<PropertyQuery>& queries) override;
+  /// Training-free staging: StageBatch materializes the scores from
+  /// current novelty/surprise state; PredictStaged returns the frozen
+  /// matrix, reading no streaming state afterward.
+  bool SupportsStagedBatches() const override { return true; }
+  void StageBatch(const std::vector<PropertyQuery>& queries) override;
+  double TrainStaged() override { return 0.0; }
+  Matrix PredictStaged() override { return staged_scores_; }
   void SetTraining(bool) override {}
   size_t ParamCount() const override { return 0; }
 
@@ -120,6 +137,7 @@ class SladeStandin : public TemporalPredictor {
   std::vector<float> gap_ema_;
   std::vector<float> surprise_ema_;
   std::vector<uint8_t> active_;
+  Matrix staged_scores_;  // grow-only staging buffer (B x 2)
 };
 
 }  // namespace splash

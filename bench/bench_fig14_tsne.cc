@@ -67,13 +67,18 @@ int main() {
     const Matrix repr = row.model->PredictBatch(queries);
     const double sil_raw = SilhouetteScore(repr, labels);
 
+    // PCA-initialized t-SNE with the perplexity sweep hook: each candidate
+    // shares the same init, the silhouette against the node classes picks
+    // the winner (analysis/tsne.h).
     TsneOptions topts;
-    topts.iterations = 300;
-    Rng rng(99);
-    const Matrix embedded = RunTsne(repr, topts, &rng);
-    const double sil_tsne = SilhouetteScore(embedded, labels);
-    std::printf("%-12s %14.4f %14.4f\n", row.label.c_str(), sil_raw,
-                sil_tsne);
+    topts.iterations = 800;
+    const TsneSweepResult best = RunTsnePerplexitySweep(
+        repr, topts, {5.0, 15.0, 30.0, 50.0}, 99,
+        [&](const Matrix& emb) { return SilhouetteScore(emb, labels); });
+    const Matrix& embedded = best.embedding;
+    const double sil_tsne = best.score;
+    std::printf("%-12s %14.4f %14.4f  (perplexity %.0f)\n",
+                row.label.c_str(), sil_raw, sil_tsne, best.perplexity);
     std::fflush(stdout);
 
     // CSV for plotting: x,y,label.

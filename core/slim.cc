@@ -29,6 +29,21 @@ void InitParam(SlimModel* /*unused*/, Matrix* w, size_t fan_in, Rng* rng) {
 
 }  // namespace
 
+void SlimForwardScratch::Resize(size_t b, size_t k_recent, size_t feature_dim,
+                                size_t time_dim, size_t hidden_dim,
+                                size_t out_dim, bool dropout) {
+  const size_t bk = b * k_recent;
+  cat1.Resize(bk, feature_dim + time_dim);
+  msg_pre.Resize(bk, hidden_dim);
+  agg.Resize(b, hidden_dim);
+  self_pre.Resize(b, hidden_dim);
+  cat2.Resize(b, 2 * hidden_dim);
+  h_pre.Resize(b, hidden_dim);
+  out.Resize(b, out_dim);
+  inv_weight.resize(b);
+  if (dropout) drop_mask.resize(b * hidden_dim);
+}
+
 SlimModel::SlimModel(const SlimOptions& opts, Rng* rng)
     : opts_(opts), rng_(rng) {
   const size_t dv = opts_.feature_dim, dt = opts_.time_dim,
@@ -72,12 +87,12 @@ void SlimModel::EnsureWorkerScratch(size_t num_workers) {
 }
 
 void SlimModel::EncodeTime(const std::vector<double>& deltas, size_t i0,
-                           size_t i1) {
+                           size_t i1, SlimForwardScratch* s) const {
   // phi(dt)_j: sin/cos pairs of log-compressed dt at geometrically spaced
   // frequencies (fixed, not learned — same family as the degree encoding).
   const size_t dv = opts_.feature_dim, dt_dim = opts_.time_dim;
   for (size_t i = i0; i < i1; ++i) {
-    float* row = cat1_.Row(i) + dv;
+    float* row = s->cat1.Row(i) + dv;
     const float x = std::log1p(
         static_cast<float>(deltas[i] < 0.0 ? 0.0 : deltas[i]));
     float freq = 1.0f;
@@ -92,18 +107,10 @@ void SlimModel::EncodeTime(const std::vector<double>& deltas, size_t i0,
 }
 
 void SlimModel::ResizeScratch(size_t b, bool for_training) {
-  const size_t k = opts_.k_recent, dv = opts_.feature_dim,
-               dt = opts_.time_dim, h = opts_.hidden_dim, o = opts_.out_dim;
+  const size_t k = opts_.k_recent, h = opts_.hidden_dim, o = opts_.out_dim;
   const size_t bk = b * k;
-  cat1_.Resize(bk, dv + dt);
-  msg_pre_.Resize(bk, h);
-  agg_.Resize(b, h);
-  self_pre_.Resize(b, h);
-  cat2_.Resize(b, 2 * h);
-  h_pre_.Resize(b, h);
-  out_.Resize(b, o);
-  inv_weight_.resize(b);
-  if (training_ && opts_.dropout > 0.0f) drop_mask_.resize(b * h);
+  fwd_.Resize(b, k, opts_.feature_dim, opts_.time_dim, h, o,
+              training_ && opts_.dropout > 0.0f);
   if (for_training) {
     d_out_.Resize(b, o);
     d_h_.Resize(b, h);
@@ -114,21 +121,22 @@ void SlimModel::ResizeScratch(size_t b, bool for_training) {
 }
 
 void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
-                             size_t r1, Rng* drop_rng) {
+                             size_t r1, Rng* drop_rng,
+                             SlimForwardScratch* s) const {
   const size_t k = opts_.k_recent, dv = opts_.feature_dim,
                h = opts_.hidden_dim;
   const size_t n0 = r0 * k, n1 = r1 * k;  // neighbor-row range
 
   // --- neighbor branch -----------------------------------------------------
   for (size_t i = n0; i < n1; ++i) {
-    std::memcpy(cat1_.Row(i), input.neighbor_feats.Row(i),
+    std::memcpy(s->cat1.Row(i), input.neighbor_feats.Row(i),
                 dv * sizeof(float));
   }
-  EncodeTime(input.time_deltas, n0, n1);
+  EncodeTime(input.time_deltas, n0, n1, s);
 
-  MatMulRange(cat1_, w1_.w, &msg_pre_, n0, n1);
+  MatMulRange(s->cat1, w1_.w, &s->msg_pre, n0, n1);
   for (size_t i = n0; i < n1; ++i) {
-    float* row = msg_pre_.Row(i);
+    float* row = s->msg_pre.Row(i);
     const float* bias = b1_.w.data();
     for (size_t j = 0; j < h; ++j) {
       const float v = row[j] + bias[j];
@@ -138,24 +146,24 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
 
   for (size_t bi = r0; bi < r1; ++bi) {
     float wsum = 0.0f;
-    float* arow = agg_.Row(bi);
+    float* arow = s->agg.Row(bi);
     std::memset(arow, 0, h * sizeof(float));
     const float* mrow = input.mask.Row(bi);
     for (size_t j = 0; j < k; ++j) {
       if (mrow[j] == 0.0f) continue;
       const float w = input.edge_weights[bi * k + j];
       wsum += w;
-      Axpy(w, msg_pre_.Row(bi * k + j), arow, h);
+      Axpy(w, s->msg_pre.Row(bi * k + j), arow, h);
     }
     const float inv = wsum > 1e-12f ? 1.0f / wsum : 0.0f;
-    inv_weight_[bi] = inv;
+    s->inv_weight[bi] = inv;
     for (size_t j = 0; j < h; ++j) arow[j] *= inv;
   }
 
   // --- self branch ---------------------------------------------------------
-  MatMulRange(input.node_feats, w2_.w, &self_pre_, r0, r1);
+  MatMulRange(input.node_feats, w2_.w, &s->self_pre, r0, r1);
   for (size_t bi = r0; bi < r1; ++bi) {
-    float* row = self_pre_.Row(bi);
+    float* row = s->self_pre.Row(bi);
     const float* bias = b2_.w.data();
     for (size_t j = 0; j < h; ++j) {
       const float v = row[j] + bias[j];
@@ -165,12 +173,12 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
 
   // --- head ----------------------------------------------------------------
   for (size_t bi = r0; bi < r1; ++bi) {
-    std::memcpy(cat2_.Row(bi), agg_.Row(bi), h * sizeof(float));
-    std::memcpy(cat2_.Row(bi) + h, self_pre_.Row(bi), h * sizeof(float));
+    std::memcpy(s->cat2.Row(bi), s->agg.Row(bi), h * sizeof(float));
+    std::memcpy(s->cat2.Row(bi) + h, s->self_pre.Row(bi), h * sizeof(float));
   }
-  MatMulRange(cat2_, w3_.w, &h_pre_, r0, r1);
+  MatMulRange(s->cat2, w3_.w, &s->h_pre, r0, r1);
   for (size_t bi = r0; bi < r1; ++bi) {
-    float* row = h_pre_.Row(bi);
+    float* row = s->h_pre.Row(bi);
     const float* bias = b3_.w.data();
     for (size_t j = 0; j < h; ++j) {
       const float v = row[j] + bias[j];
@@ -182,8 +190,8 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
     const float keep = 1.0f - opts_.dropout;
     const float scale = 1.0f / keep;
     for (size_t bi = r0; bi < r1; ++bi) {
-      float* row = h_pre_.Row(bi);
-      uint8_t* mask = drop_mask_.data() + bi * h;
+      float* row = s->h_pre.Row(bi);
+      uint8_t* mask = s->drop_mask.data() + bi * h;
       for (size_t j = 0; j < h; ++j) {
         const bool kept = drop_rng->Uniform() < keep;
         mask[j] = kept;
@@ -192,10 +200,10 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
     }
   }
 
-  MatMulRange(h_pre_, w4_.w, &out_, r0, r1);
+  MatMulRange(s->h_pre, w4_.w, &s->out, r0, r1);
   const size_t o = opts_.out_dim;
   for (size_t bi = r0; bi < r1; ++bi) {
-    float* row = out_.Row(bi);
+    float* row = s->out.Row(bi);
     const float* bias = b4_.w.data();
     for (size_t j = 0; j < o; ++j) row[j] += bias[j];
   }
@@ -219,18 +227,30 @@ void SlimModel::ForwardAll(const SlimBatchInput& input, bool for_training) {
   // parallelizes forward+backward per chunk itself) keep the serial
   // model-Rng dropout path for reproducibility.
   if (pool->num_threads() == 1 || b < 2 * kBatchGrain || wants_dropout) {
-    ForwardRange(input, 0, b, wants_dropout ? rng_ : nullptr);
+    ForwardRange(input, 0, b, wants_dropout ? rng_ : nullptr, &fwd_);
     return;
   }
   pool->ParallelFor(0, b, kBatchGrain,
                     [&](size_t r0, size_t r1, size_t) {
-                      ForwardRange(input, r0, r1, nullptr);
+                      ForwardRange(input, r0, r1, nullptr, &fwd_);
                     });
 }
 
 Matrix SlimModel::Forward(const SlimBatchInput& input) {
   ForwardAll(input, /*for_training=*/false);
-  return out_;
+  return fwd_.out;
+}
+
+Matrix SlimModel::PredictConst(const SlimBatchInput& input,
+                               SlimForwardScratch* scratch) const {
+  const size_t b = input.node_feats.rows();
+  scratch->Resize(b, opts_.k_recent, opts_.feature_dim, opts_.time_dim,
+                  opts_.hidden_dim, opts_.out_dim, /*dropout=*/false);
+  // Serial, dropout-free: identical arithmetic to the eval-mode ForwardAll
+  // (the parallel path computes the same per-row values), so snapshot
+  // reads are bit-identical to fused Forward on the same state.
+  ForwardRange(input, 0, b, nullptr, scratch);
+  return scratch->out;
 }
 
 void SlimModel::BackwardRange(const SlimBatchInput& input,
@@ -245,7 +265,7 @@ void SlimModel::BackwardRange(const SlimBatchInput& input,
   double loss = 0.0;
   const float inv_b = 1.0f / static_cast<float>(b);
   for (size_t bi = r0; bi < r1; ++bi) {
-    const float* row = out_.Row(bi);
+    const float* row = fwd_.out.Row(bi);
     float mx = row[0];
     for (size_t j = 1; j < o; ++j) mx = row[j] > mx ? row[j] : mx;
     float sum = 0.0f;
@@ -267,34 +287,34 @@ void SlimModel::BackwardRange(const SlimBatchInput& input,
   *loss_out += loss;
 
   // Head.
-  MatMulTransARange(h_pre_, d_out_, grads.g[6], r0, r1, accumulate);
+  MatMulTransARange(fwd_.h_pre, d_out_, grads.g[6], r0, r1, accumulate);
   ColumnSumsRange(d_out_, grads.g[7]->data(), r0, r1, accumulate);
   MatMulTransBRange(d_out_, w4_.w, &d_h_, r0, r1);
   if (training_ && opts_.dropout > 0.0f) {
     const float scale = 1.0f / (1.0f - opts_.dropout);
     for (size_t bi = r0; bi < r1; ++bi) {
       float* p = d_h_.Row(bi);
-      const uint8_t* mask = drop_mask_.data() + bi * h;
+      const uint8_t* mask = fwd_.drop_mask.data() + bi * h;
       for (size_t j = 0; j < h; ++j) {
         p[j] = mask[j] ? p[j] * scale : 0.0f;
       }
     }
   }
   for (size_t bi = r0; bi < r1; ++bi) {
-    const float* act = h_pre_.Row(bi);
+    const float* act = fwd_.h_pre.Row(bi);
     float* p = d_h_.Row(bi);
     for (size_t j = 0; j < h; ++j) {
       if (act[j] <= 0.0f) p[j] = 0.0f;
     }
   }
-  MatMulTransARange(cat2_, d_h_, grads.g[4], r0, r1, accumulate);
+  MatMulTransARange(fwd_.cat2, d_h_, grads.g[4], r0, r1, accumulate);
   ColumnSumsRange(d_h_, grads.g[5]->data(), r0, r1, accumulate);
   MatMulTransBRange(d_h_, w3_.w, &d_cat2_, r0, r1);
 
   // Self branch: d_self = d_cat2[:, h:] masked by ReLU.
   for (size_t bi = r0; bi < r1; ++bi) {
     const float* src = d_cat2_.Row(bi) + h;
-    const float* act = self_pre_.Row(bi);
+    const float* act = fwd_.self_pre.Row(bi);
     float* dst = d_self_.Row(bi);
     for (size_t j = 0; j < h; ++j) dst[j] = act[j] > 0.0f ? src[j] : 0.0f;
   }
@@ -307,7 +327,7 @@ void SlimModel::BackwardRange(const SlimBatchInput& input,
   for (size_t bi = r0; bi < r1; ++bi) {
     const float* dagg = d_cat2_.Row(bi);  // first h columns
     const float* mrow = input.mask.Row(bi);
-    const float inv = inv_weight_[bi];
+    const float inv = fwd_.inv_weight[bi];
     for (size_t j = 0; j < k; ++j) {
       float* drow = d_msg_.Row(bi * k + j);
       if (mrow[j] == 0.0f || inv == 0.0f) {
@@ -315,13 +335,13 @@ void SlimModel::BackwardRange(const SlimBatchInput& input,
         continue;
       }
       const float w = input.edge_weights[bi * k + j] * inv;
-      const float* act = msg_pre_.Row(bi * k + j);
+      const float* act = fwd_.msg_pre.Row(bi * k + j);
       for (size_t jj = 0; jj < h; ++jj) {
         drow[jj] = act[jj] > 0.0f ? w * dagg[jj] : 0.0f;
       }
     }
   }
-  MatMulTransARange(cat1_, d_msg_, grads.g[0], n0, n1, accumulate);
+  MatMulTransARange(fwd_.cat1, d_msg_, grads.g[0], n0, n1, accumulate);
   ColumnSumsRange(d_msg_, grads.g[1]->data(), n0, n1, accumulate);
 }
 
@@ -341,7 +361,7 @@ double SlimModel::TrainStep(const SlimBatchInput& input,
   if (pool->num_threads() == 1 || num_chunks < 2) {
     // Serial path: bit-identical to the pre-parallel implementation
     // (dropout drawn sequentially from the model Rng, full-range kernels).
-    ForwardRange(input, 0, b, wants_dropout ? rng_ : nullptr);
+    ForwardRange(input, 0, b, wants_dropout ? rng_ : nullptr, &fwd_);
     BackwardRange(input, labels, 0, b, MainGradRefs(), /*accumulate=*/false,
                   &loss);
   } else {
@@ -358,7 +378,8 @@ double SlimModel::TrainStep(const SlimBatchInput& input,
                         Rng drop_rng(WorkerRngSeed(opts_.dropout_seed,
                                                    train_calls_, chunk));
                         ForwardRange(input, r0, r1,
-                                     wants_dropout ? &drop_rng : nullptr);
+                                     wants_dropout ? &drop_rng : nullptr,
+                                     &fwd_);
                         GradScratch& ws = worker_grads_[worker];
                         GradRefs refs{{&ws.g[0], &ws.g[1], &ws.g[2],
                                        &ws.g[3], &ws.g[4], &ws.g[5],

@@ -68,6 +68,27 @@ struct SlimBatchInput {
   std::vector<float> edge_weights;  // B*K
 };
 
+/// Forward-pass activations (grow-only). The model owns one for its fused
+/// Forward/TrainStep paths; snapshot readers (serve/) pass their own to the
+/// const PredictConst path so concurrent inference never touches model
+/// state — that is the const-correctness contract the serving layer's
+/// lock-free reads rely on.
+struct SlimForwardScratch {
+  Matrix cat1;      // B*K x (Dv + Dt): [neighbor feat || time enc]
+  Matrix msg_pre;   // B*K x H (pre-ReLU, reused as post-ReLU in place)
+  Matrix agg;       // B x H
+  Matrix self_pre;  // B x H
+  Matrix cat2;      // B x 2H
+  Matrix h_pre;     // B x H
+  Matrix out;       // B x O
+  std::vector<float> inv_weight;   // B: 1 / sum of valid edge weights
+  std::vector<uint8_t> drop_mask;  // B*H during training
+
+  /// Grows every matrix for a B-row batch of `opts`-shaped inputs.
+  void Resize(size_t b, size_t k_recent, size_t feature_dim, size_t time_dim,
+              size_t hidden_dim, size_t out_dim, bool dropout);
+};
+
 class SlimModel {
  public:
   SlimModel(const SlimOptions& opts, Rng* rng);
@@ -76,6 +97,13 @@ class SlimModel {
 
   /// Batched forward pass; returns a B x out_dim score matrix.
   Matrix Forward(const SlimBatchInput& input);
+
+  /// Inference against frozen weights using caller-owned scratch: serial,
+  /// dropout-free, and const — safe to call from many reader threads at
+  /// once (each with its own scratch) while no writer mutates the model.
+  /// Bit-identical to Forward() in eval mode.
+  Matrix PredictConst(const SlimBatchInput& input,
+                      SlimForwardScratch* scratch) const;
 
   /// Forward + cross-entropy backward + Adam update. labels[b] in
   /// [0, out_dim). Returns the mean batch loss.
@@ -107,10 +135,12 @@ class SlimModel {
   /// Grows every forward/backward scratch matrix for a B-row batch. Must
   /// run before chunks are dispatched: Resize may reallocate.
   void ResizeScratch(size_t b, bool for_training);
-  /// Forward for batch rows [r0, r1) into the shared scratch (disjoint
-  /// rows per chunk). `drop_rng` non-null applies training dropout.
+  /// Forward for batch rows [r0, r1) into `s` (disjoint rows per chunk).
+  /// `drop_rng` non-null applies training dropout. Const: every mutated
+  /// activation lives in the scratch, so readers with private scratch can
+  /// run this concurrently against frozen weights.
   void ForwardRange(const SlimBatchInput& input, size_t r0, size_t r1,
-                    Rng* drop_rng);
+                    Rng* drop_rng, SlimForwardScratch* s) const;
   /// Runs ResizeScratch + ForwardRange serial or chunk-parallel.
   void ForwardAll(const SlimBatchInput& input, bool for_training);
   /// Softmax/CE + backprop for batch rows [r0, r1): gradient contributions
@@ -120,7 +150,8 @@ class SlimModel {
                      const std::vector<int>& labels, size_t r0, size_t r1,
                      const GradRefs& grads, bool accumulate,
                      double* loss_out);
-  void EncodeTime(const std::vector<double>& deltas, size_t i0, size_t i1);
+  void EncodeTime(const std::vector<double>& deltas, size_t i0, size_t i1,
+                  SlimForwardScratch* s) const;
   void EnsureWorkerScratch(size_t num_workers);
   GradRefs MainGradRefs();
   void AdamStep(Param* p);
@@ -133,16 +164,9 @@ class SlimModel {
 
   Param w1_, b1_, w2_, b2_, w3_, b3_, w4_, b4_;
 
-  // Forward scratch, kept across calls (grow-only).
-  Matrix cat1_;      // B*K x (Dv + Dt): [neighbor feat || time enc]
-  Matrix msg_pre_;   // B*K x H (pre-ReLU, reused as post-ReLU in place)
-  Matrix agg_;       // B x H
-  Matrix self_pre_;  // B x H
-  Matrix cat2_;      // B x 2H
-  Matrix h_pre_;     // B x H
-  Matrix out_;       // B x O
-  std::vector<float> inv_weight_;   // B: 1 / sum of valid edge weights
-  std::vector<uint8_t> drop_mask_;  // B*H during training
+  // Forward scratch for the fused (non-const) paths, kept across calls
+  // (grow-only). The const PredictConst path uses caller scratch instead.
+  SlimForwardScratch fwd_;
 
   // Backward scratch.
   Matrix d_out_, d_h_, d_cat2_, d_msg_, d_self_;

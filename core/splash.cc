@@ -153,32 +153,63 @@ void SplashPredictor::AssembleBatch(
     }
   }
 
-  pool->ParallelFor(0, b, kBatchAssembleGrain, [&](size_t r0, size_t r1,
-                                                   size_t worker) {
-    NodeId* nbr_ids = worker_nbr_ids_[worker].data();
-    double* nbr_times = worker_nbr_times_[worker].data();
-    for (size_t bi = r0; bi < r1; ++bi) {
-      const PropertyQuery& q = queries[bi];
-      WriteNodeFeature(q.node, batch_.node_feats.Row(bi));
-      const size_t count = memory_.GatherRecent(q.node, nbr_ids, nbr_times);
-      float* mask_row = batch_.mask.Row(bi);
-      for (size_t j = 0; j < k; ++j) {
-        const size_t idx = bi * k + j;
-        if (j < count) {
-          WriteNodeFeature(nbr_ids[j], batch_.neighbor_feats.Row(idx));
-          batch_.time_deltas[idx] = q.time - nbr_times[j];
-          batch_.edge_weights[idx] = 1.0f;
-          mask_row[j] = 1.0f;
-        } else {
-          std::memset(batch_.neighbor_feats.Row(idx), 0,
-                      input_dim_ * sizeof(float));
-          batch_.time_deltas[idx] = 0.0;
-          batch_.edge_weights[idx] = 0.0f;
-          mask_row[j] = 0.0f;
-        }
+  pool->ParallelFor(0, b, kBatchAssembleGrain,
+                    [&](size_t r0, size_t r1, size_t worker) {
+                      AssembleRows(queries, r0, r1, &batch_,
+                                   worker_nbr_ids_[worker].data(),
+                                   worker_nbr_times_[worker].data());
+                    });
+}
+
+void SplashPredictor::AssembleRows(const std::vector<PropertyQuery>& queries,
+                                   size_t r0, size_t r1, SlimBatchInput* out,
+                                   NodeId* nbr_ids,
+                                   double* nbr_times) const {
+  const size_t k = memory_.k();
+  for (size_t bi = r0; bi < r1; ++bi) {
+    const PropertyQuery& q = queries[bi];
+    WriteNodeFeature(q.node, out->node_feats.Row(bi));
+    const size_t count = memory_.GatherRecent(q.node, nbr_ids, nbr_times);
+    float* mask_row = out->mask.Row(bi);
+    for (size_t j = 0; j < k; ++j) {
+      const size_t idx = bi * k + j;
+      if (j < count) {
+        WriteNodeFeature(nbr_ids[j], out->neighbor_feats.Row(idx));
+        out->time_deltas[idx] = q.time - nbr_times[j];
+        out->edge_weights[idx] = 1.0f;
+        mask_row[j] = 1.0f;
+      } else {
+        std::memset(out->neighbor_feats.Row(idx), 0,
+                    input_dim_ * sizeof(float));
+        out->time_deltas[idx] = 0.0;
+        out->edge_weights[idx] = 0.0f;
+        mask_row[j] = 0.0f;
       }
     }
-  });
+  }
+}
+
+Matrix SplashPredictor::PredictBatchConst(
+    const std::vector<PropertyQuery>& queries,
+    SplashQueryScratch* scratch) const {
+  const size_t b = queries.size();
+  if (!slim_ || b == 0) {
+    return Matrix(b, slim_ ? slim_->options().out_dim : 2);
+  }
+  const size_t k = memory_.k();
+  SlimBatchInput* batch = &scratch->batch;
+  batch->node_feats.Resize(b, input_dim_);
+  batch->neighbor_feats.Resize(b * k, input_dim_);
+  batch->time_deltas.resize(b * k);
+  batch->mask.Resize(b, k);
+  batch->edge_weights.resize(b * k);
+  if (scratch->nbr_ids.size() < k) {
+    scratch->nbr_ids.resize(k);
+    scratch->nbr_times.resize(k);
+  }
+  AssembleRows(queries, 0, b, batch, scratch->nbr_ids.data(),
+               scratch->nbr_times.data());
+  return slim_->PredictConst(*batch, &scratch->fwd);
 }
 
 void SplashPredictor::StageBatch(const std::vector<PropertyQuery>& queries) {

@@ -43,6 +43,17 @@ struct SplashOptions {
   uint64_t seed = 777;
 };
 
+/// Per-reader scratch for const snapshot queries (serve/): the assembled
+/// batch tensors, the SLIM forward scratch, and the k-sized neighbor
+/// gather arrays. One per reader thread; grow-only, so steady-state
+/// queries are allocation-free.
+struct SplashQueryScratch {
+  SlimBatchInput batch;
+  SlimForwardScratch fwd;
+  std::vector<NodeId> nbr_ids;
+  std::vector<double> nbr_times;
+};
+
 class SplashPredictor : public TemporalPredictor {
  public:
   explicit SplashPredictor(const SplashOptions& opts);
@@ -73,9 +84,30 @@ class SplashPredictor : public TemporalPredictor {
   /// forced modes too: it mirrors the forced process).
   AugmentationProcess selected_process() const { return selected_; }
 
+  /// Const snapshot query (the serving layer's read path): assembles the
+  /// batch into caller scratch and runs the dropout-free const SLIM
+  /// forward. Touches no predictor state, so any number of reader threads
+  /// may call it concurrently — each with its own scratch — while no
+  /// writer mutates the predictor. Bit-identical to PredictBatch in eval
+  /// mode on the same streaming state.
+  Matrix PredictBatchConst(const std::vector<PropertyQuery>& queries,
+                           SplashQueryScratch* scratch) const;
+
+  // Const views for the serving layer's drift/quality counters.
+  const FeatureAugmenter& augmenter() const { return augmenter_; }
+  const NeighborMemory& memory() const { return memory_; }
+  size_t input_dim() const { return input_dim_; }
+
  private:
   /// Writes the mode's SLIM input feature of `node` (input_dim_ floats).
   void WriteNodeFeature(NodeId node, float* out) const;
+  /// Assembles query rows [r0, r1) into `out` (pre-sized). `nbr_ids` /
+  /// `nbr_times` are k-sized gather scratch owned by the caller. Reads
+  /// streaming state only — shared by the pooled AssembleBatch chunks and
+  /// the const snapshot path.
+  void AssembleRows(const std::vector<PropertyQuery>& queries, size_t r0,
+                    size_t r1, SlimBatchInput* out, NodeId* nbr_ids,
+                    double* nbr_times) const;
   void AssembleBatch(const std::vector<PropertyQuery>& queries);
 
   SplashOptions opts_;

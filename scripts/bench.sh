@@ -31,7 +31,13 @@ cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_substrate
 # SPLASH_THREADS are recorded in the JSON context (google-benchmark's
 # num_cpus reports what the process sees, which on capped CI runners is
 # not the comparison-relevant physical count) so rows stay comparable
-# across hosts.
+# across hosts. The git SHA + dirty flag make every committed snapshot
+# traceable to the exact tree it was recorded from.
+git_sha="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+git_dirty=0
+if ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
+  git_dirty=1
+fi
 splash_threads="${SPLASH_THREADS:-1}"
 SPLASH_THREADS="${splash_threads}" "${build_dir}/bench_micro_substrate" \
   --benchmark_format=json \
@@ -39,6 +45,8 @@ SPLASH_THREADS="${splash_threads}" "${build_dir}/bench_micro_substrate" \
   --benchmark_report_aggregates_only=true \
   --benchmark_context=host_cores="$(nproc)" \
   --benchmark_context=splash_threads="${splash_threads}" \
+  --benchmark_context=git_sha="${git_sha}" \
+  --benchmark_context=git_dirty="${git_dirty}" \
   > "${repo_root}/BENCH_micro.json"
 
 # Sanity: the thread-sweep row pairs must be present, or the scaling gate

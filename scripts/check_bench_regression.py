@@ -43,6 +43,19 @@ DEFAULT_ROWS = [
     "BM_FeatureReplayBulkThreads/1",
 ]
 
+# The serving-layer gate (--preset serve): BENCH_serve.json's pinned
+# closed-loop mixed-traffic smoke row vs a fresh `bench_serve_load --smoke`
+# run, calibrated by that binary's own ALU row. cpu_time here is *process*
+# CPU per operation (ingest + query + apply thread + pool workers), so a
+# regression anywhere in the serve path shows up even on a 1-core runner.
+SERVE_ROWS = ["BM_ServeSmokeMixed"]
+SERVE_CALIBRATE = "BM_ServeCalibrate"
+
+PRESETS = {
+    "micro": (DEFAULT_ROWS, "BM_DegreeEncode"),
+    "serve": (SERVE_ROWS, SERVE_CALIBRATE),
+}
+
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
@@ -140,13 +153,22 @@ def main():
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--current")
     ap.add_argument("--max-regress", type=float, default=0.15)
-    ap.add_argument("--rows", nargs="+", default=DEFAULT_ROWS)
+    ap.add_argument("--preset", choices=sorted(PRESETS),
+                    help="row/calibration bundle: 'micro' for "
+                         "BENCH_micro.json, 'serve' for BENCH_serve.json; "
+                         "explicit --rows/--calibrate override it")
+    ap.add_argument("--rows", nargs="+", default=None)
     ap.add_argument("--calibrate", default=None, metavar="ROW",
                     help="normalize both sides by this row's cpu_time to "
                          "cancel host single-core speed (CI uses "
-                         "BM_DegreeEncode)")
+                         "BM_DegreeEncode / BM_ServeCalibrate)")
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
+    preset_rows, preset_cal = PRESETS[args.preset or "micro"]
+    if args.rows is None:
+        args.rows = preset_rows
+    if args.calibrate is None and args.preset is not None:
+        args.calibrate = preset_cal
 
     with open(args.baseline) as f:
         baseline = json.load(f)

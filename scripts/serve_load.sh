@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Builds Release and snapshots the serving-layer load sweep to
+# BENCH_serve.json at the repo root: closed-loop ingest:query mixes
+# (90/50/10), an open-loop paced-latency row, and the pinned CI smoke row
+# (BM_ServeSmokeMixed) plus the ALU calibration row (BM_ServeCalibrate)
+# that scripts/check_bench_regression.py uses to cancel host speed.
+#
+# CI re-runs only the smoke row (bench_serve_load --smoke) on every push
+# and diffs its cpu_time against this snapshot (see DESIGN.md §5).
+#
+# Usage: scripts/serve_load.sh [build-dir]   (default: build-bench)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-bench}"
+
+# SPLASH_NATIVE=OFF for the same reason as bench.sh: the committed
+# snapshot and the CI job must compare identical codegen.
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
+  -DSPLASH_NATIVE=OFF
+cmake --build "${build_dir}" -j "$(nproc)" --target bench_serve_load
+
+# Traceability context: the exact commit (and whether the tree was dirty)
+# this snapshot was recorded from.
+git_sha="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+git_dirty=0
+if ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
+  git_dirty=1
+fi
+
+splash_threads="${SPLASH_THREADS:-1}"
+SPLASH_THREADS="${splash_threads}" "${build_dir}/bench_serve_load" \
+  --json "${repo_root}/BENCH_serve.json" \
+  --context host_cores="$(nproc)" \
+  --context splash_threads="${splash_threads}" \
+  --context git_sha="${git_sha}" \
+  --context git_dirty="${git_dirty}"
+
+# Sanity: the gate rows must be present, or the serve regression gate has
+# silently vanished from the snapshot.
+for row in "BM_ServeSmokeMixed" "BM_ServeCalibrate"; do
+  if ! grep -q "\"${row}\"" "${repo_root}/BENCH_serve.json"; then
+    echo "ERROR: ${row} missing from BENCH_serve.json" >&2
+    exit 1
+  fi
+done
+
+echo "wrote ${repo_root}/BENCH_serve.json (incl. the pinned smoke gate row)"

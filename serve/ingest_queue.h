@@ -1,0 +1,126 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Bounded multi-producer / single-consumer ingest queue of the serving
+// layer. Producers enqueue edges and labeled training feedback; the apply
+// thread drains them in arrival order as micro-batches (size watermark =
+// `max_items`, time watermark = `max_wait_s` — whichever fires first).
+//
+// Backpressure (see DESIGN.md §5): when the ring is full, kBlock parks the
+// producer on a condvar until the apply thread frees a slot (lossless,
+// latency bleeds upstream), kDropNewest rejects the item immediately
+// (lossy, bounded producer latency; the service counts drops). The ring
+// buffer is sized once at construction — steady-state Push/PopBatch do not
+// allocate.
+
+#ifndef SPLASH_SERVE_INGEST_QUEUE_H_
+#define SPLASH_SERVE_INGEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+
+namespace splash {
+
+enum class BackpressurePolicy {
+  kBlock,       // producers wait for queue space (lossless)
+  kDropNewest,  // reject when full (lossy; caller sees `false`)
+};
+
+/// One ingest event: a stream edge or a labeled training query applied at
+/// the next micro-batch boundary.
+struct IngestItem {
+  enum class Kind : uint8_t { kEdge, kTrain };
+  Kind kind = Kind::kEdge;
+  TemporalEdge edge;
+  PropertyQuery train;
+};
+
+class IngestQueue {
+ public:
+  IngestQueue(size_t capacity, BackpressurePolicy policy)
+      : ring_(capacity < 1 ? 1 : capacity), policy_(policy) {}
+
+  /// Enqueues `item`. Returns false when the item was dropped (kDropNewest
+  /// on a full ring, or the queue was stopped). With kBlock a full ring
+  /// parks the caller until space frees; the service times the whole call
+  /// from outside, so block time shows up in the ingest latency histogram.
+  bool Push(const IngestItem& item) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (policy_ == BackpressurePolicy::kBlock && size_ == ring_.size() &&
+        !stopped_) {
+      not_full_.wait(lk, [&] { return size_ < ring_.size() || stopped_; });
+    }
+    if (stopped_ || size_ == ring_.size()) return false;
+    ring_[(head_ + size_) % ring_.size()] = item;
+    ++size_;
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Drains up to `max_items` into `*out` (cleared first). Blocks until at
+  /// least one item is available or Stop() was called; once the first item
+  /// is in, waits up to `max_wait_s` more for the batch to fill (the
+  /// coalescing time watermark). Returns the number of items popped — 0
+  /// only when stopped AND empty (the drain-complete signal).
+  size_t PopBatch(std::vector<IngestItem>* out, size_t max_items,
+                  double max_wait_s) {
+    out->clear();
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return size_ > 0 || stopped_; });
+    if (size_ < max_items && !stopped_ && max_wait_s > 0.0) {
+      not_empty_.wait_for(
+          lk, std::chrono::duration<double>(max_wait_s),
+          [&] { return size_ >= max_items || stopped_; });
+    }
+    const size_t n = size_ < max_items ? size_ : max_items;
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(ring_[head_]);
+      head_ = (head_ + 1) % ring_.size();
+    }
+    size_ -= n;
+    lk.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Stops the queue: pending items remain poppable (drain), new pushes
+  /// fail, blocked producers and the consumer wake.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopped_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool stopped() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stopped_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return size_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::vector<IngestItem> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  bool stopped_ = false;
+  BackpressurePolicy policy_;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_SERVE_INGEST_QUEUE_H_

@@ -1,0 +1,381 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace splash {
+
+SplashService::SplashService(const SplashOptions& model_opts,
+                             const SplashServiceOptions& opts)
+    : model_opts_(model_opts),
+      opts_(opts),
+      queue_(opts.queue_capacity, opts.backpressure) {}
+
+SplashService::~SplashService() { Stop(); }
+
+Status SplashService::Start(const Dataset& warmup, const ChronoSplit& split,
+                            const TrainerOptions* fit) {
+  if (running_.load()) {
+    return Status::Error("SplashService::Start: already running");
+  }
+  if (apply_thread_.joinable()) {
+    return Status::Error("SplashService::Start: service cannot restart");
+  }
+
+  // Both replicas run the identical deterministic pipeline (same options,
+  // same seed, same thread count), so they end bit-identical — the
+  // invariant the whole snapshot scheme rests on.
+  for (int r = 0; r < 2; ++r) {
+    replicas_[r] = std::make_unique<SplashPredictor>(model_opts_);
+    Status st = replicas_[r]->Prepare(warmup, split);
+    if (!st.ok()) return st;
+    if (fit != nullptr) {
+      StreamTrainer trainer(*fit);
+      trainer.Fit(replicas_[r].get(), warmup, split);
+    }
+    replicas_[r]->SetTraining(false);
+    replicas_[r]->ResetState();
+  }
+
+  // Serving starts from an empty ingest log: watermark 0 == "weights only,
+  // no streamed edge". Nodes touched by the warmup stream are "known";
+  // everything else counts toward the novel-id drift signal.
+  log_ = EdgeStream();
+  log_.EnsureNodeCapacity(warmup.stream.num_nodes());
+  node_seen_.assign(warmup.stream.num_nodes(), 0);
+  const NodeId* wsrc = warmup.stream.src_data();
+  const NodeId* wdst = warmup.stream.dst_data();
+  for (size_t i = 0; i < warmup.stream.size(); ++i) {
+    node_seen_[wsrc[i]] = 1;
+    node_seen_[wdst[i]] = 1;
+  }
+  wm_seq_[0] = wm_seq_[1] = 0;
+  wm_time_[0] = wm_time_[1] = 0.0;
+  batch_bounds_.clear();
+  train_log_.clear();
+
+  started_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  apply_thread_ = std::thread(&SplashService::ApplyLoop, this);
+  return Status::Ok();
+}
+
+void SplashService::RecordIngestNs(uint64_t ns) {
+  HistStripe& stripe =
+      ingest_hist_[std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+                   (kIngestHistStripes - 1)];
+  std::lock_guard<std::mutex> lk(stripe.mu);
+  stripe.hist.RecordNs(ns);
+}
+
+bool SplashService::IngestEdge(const TemporalEdge& e) {
+  if (!running_.load(std::memory_order_acquire)) return false;
+  // Boundary validation: an invalid endpoint or non-finite timestamp is
+  // rejected here (counted as a drop) so the apply thread can treat every
+  // queued edge as appendable — and so a sentinel id can never size the
+  // node tables to the full 2^32 id space.
+  if (e.src == kInvalidNode || e.dst == kInvalidNode ||
+      !std::isfinite(e.time)) {
+    ingest_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  IngestItem item;
+  item.kind = IngestItem::Kind::kEdge;
+  item.edge = e;
+  WallTimer timer;
+  const bool ok = queue_.Push(item);
+  const uint64_t ns = timer.Nanos();
+  if (ok) {
+    ingest_accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_items_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ingest_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RecordIngestNs(ns);
+  return ok;
+}
+
+bool SplashService::SubmitTrain(const PropertyQuery& q) {
+  if (!running_.load(std::memory_order_acquire) ||
+      !opts_.train_on_ingest_labels) {
+    if (opts_.train_on_ingest_labels) {
+      train_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  IngestItem item;
+  item.kind = IngestItem::Kind::kTrain;
+  item.train = q;
+  WallTimer timer;
+  const bool ok = queue_.Push(item);
+  const uint64_t ns = timer.Nanos();
+  if (ok) {
+    train_accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_items_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    train_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RecordIngestNs(ns);
+  return ok;
+}
+
+void SplashService::ApplyBatchTo(SplashPredictor* rep, size_t edge_begin,
+                                 size_t edge_end,
+                                 const std::vector<PropertyQuery>& train) {
+  if (edge_end > edge_begin) rep->ObserveBulk(log_, edge_begin, edge_end);
+  if (!train.empty()) {
+    // The staged split-phase path (core/predictor.h): assemble from the
+    // just-advanced state, then pure compute on the staged tensors.
+    rep->SetTraining(true);
+    rep->StageBatch(train);
+    rep->TrainStaged();
+    rep->SetTraining(false);
+  }
+}
+
+void SplashService::ApplyLoop() {
+  // The one in-flight catch-up job: re-applies the published batch to the
+  // old front once its readers drained. Reused across cycles — Submit only
+  // ever follows the Wait that retired the previous job.
+  struct CatchUp {
+    SplashService* svc = nullptr;
+    SplashPredictor* rep = nullptr;
+    size_t begin = 0, end = 0;
+    uint32_t idx = 0;
+    static void Invoke(void* p) {
+      auto* c = static_cast<CatchUp*>(p);
+      c->svc->gate_.WaitReadersDrained(c->idx);
+      c->svc->ApplyBatchTo(c->rep, c->begin, c->end, c->svc->catchup_train_);
+    }
+  };
+  CatchUp ctx;
+
+  for (;;) {
+    const size_t n =
+        queue_.PopBatch(&batch_scratch_, opts_.microbatch_max_items,
+                        opts_.microbatch_max_delay_s);
+    if (n == 0) break;  // stopped and drained
+    WallTimer apply_timer;
+
+    // Barrier: the previous catch-up retired, so the back replica is
+    // current and catchup_train_ / log_ are exclusively ours again.
+    pipe_.Wait();
+
+    const size_t edge_begin = log_.size();
+    train_scratch_.clear();
+    for (const IngestItem& item : batch_scratch_) {
+      if (item.kind == IngestItem::Kind::kTrain) {
+        train_scratch_.push_back(item.train);
+        continue;
+      }
+      TemporalEdge e = item.edge;  // endpoints/time validated at ingest
+      if (!log_.empty() && e.time < log_.max_time()) {
+        // The log is a *stream*: monotonize stragglers instead of
+        // rejecting them, and surface the count as a drift signal.
+        time_regressions_.fetch_add(1, std::memory_order_relaxed);
+        e.time = log_.max_time();
+      }
+      const size_t prev_nodes = node_seen_.size();
+      const size_t hi = static_cast<size_t>(std::max(e.src, e.dst)) + 1;
+      if (hi > prev_nodes) node_seen_.resize(hi, 0);
+      uint64_t novel = 0;
+      novel += node_seen_[e.src] == 0 ? 1 : 0;
+      node_seen_[e.src] = 1;
+      novel += node_seen_[e.dst] == 0 ? 1 : 0;
+      node_seen_[e.dst] = 1;
+      if (novel > 0) {
+        novel_ingest_nodes_.fetch_add(novel, std::memory_order_relaxed);
+      }
+      log_.Append(e).ok();  // cannot fail: endpoints valid, time monotone
+    }
+    const size_t edge_end = log_.size();
+
+    const uint32_t back = gate_.back();
+    ApplyBatchTo(replicas_[back].get(), edge_begin, edge_end, train_scratch_);
+    wm_seq_[back] = edge_end;
+    wm_time_[back] = edge_end > 0 ? log_.max_time() : 0.0;
+    gate_.Publish();
+
+    batches_applied_.fetch_add(1, std::memory_order_relaxed);
+    if (!train_scratch_.empty()) {
+      train_steps_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (opts_.record_apply_log) {
+      batch_bounds_.push_back(edge_end);
+      if (!train_scratch_.empty()) {
+        train_log_.emplace_back(edge_end, train_scratch_);
+      }
+    }
+
+    // Catch-up: the old front (now back) replays the identical batch on
+    // the pipeline thread, overlapped with waiting for the next batch.
+    catchup_train_ = train_scratch_;
+    ctx.svc = this;
+    ctx.rep = replicas_[1 - back].get();
+    ctx.begin = edge_begin;
+    ctx.end = edge_end;
+    ctx.idx = 1 - back;
+    pipe_.Submit(&CatchUp::Invoke, &ctx);
+
+    {
+      std::lock_guard<std::mutex> lk(flush_mu_);
+      applied_items_ += n;
+    }
+    flush_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lk(hist_mu_);
+      apply_hist_.RecordNs(apply_timer.Nanos());
+    }
+  }
+  pipe_.Wait();  // no ingest outlives the service
+  flush_cv_.notify_all();
+}
+
+void SplashService::Flush() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  const uint64_t target = accepted_items_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> lk(flush_mu_);
+  flush_cv_.wait(lk, [&] {
+    return applied_items_ >= target ||
+           !running_.load(std::memory_order_acquire);
+  });
+}
+
+void SplashService::Stop() {
+  const bool was = running_.exchange(false);
+  queue_.Stop();
+  flush_cv_.notify_all();
+  if (was && apply_thread_.joinable()) apply_thread_.join();
+}
+
+uint64_t SplashService::published_seq() const {
+  const uint32_t idx = gate_.Pin();
+  const uint64_t seq = wm_seq_[idx];
+  gate_.Unpin(idx);
+  return seq;
+}
+
+ServeStats SplashService::Stats() const {
+  ServeStats st;
+  st.counters.ingest_accepted =
+      ingest_accepted_.load(std::memory_order_relaxed);
+  st.counters.ingest_dropped = ingest_dropped_.load(std::memory_order_relaxed);
+  st.counters.train_accepted = train_accepted_.load(std::memory_order_relaxed);
+  st.counters.train_dropped = train_dropped_.load(std::memory_order_relaxed);
+  st.counters.batches_applied =
+      batches_applied_.load(std::memory_order_relaxed);
+  st.counters.train_steps = train_steps_.load(std::memory_order_relaxed);
+  st.counters.queries = queries_.load(std::memory_order_relaxed);
+  st.counters.unseen_node_queries =
+      unseen_node_queries_.load(std::memory_order_relaxed);
+  st.counters.novel_ingest_nodes =
+      novel_ingest_nodes_.load(std::memory_order_relaxed);
+  st.counters.time_regressions =
+      time_regressions_.load(std::memory_order_relaxed);
+  st.counters.queue_depth = queue_.size();
+  {
+    const uint32_t idx = gate_.Pin();
+    st.counters.published_seq = wm_seq_[idx];
+    st.counters.published_time = wm_time_[idx];
+    gate_.Unpin(idx);
+  }
+  {
+    LatencyHistogram ingest_merged;
+    for (HistStripe& stripe : ingest_hist_) {
+      std::lock_guard<std::mutex> lk(stripe.mu);
+      ingest_merged.Merge(stripe.hist);
+    }
+    st.ingest = ingest_merged.Summarize();
+  }
+  {
+    std::lock_guard<std::mutex> lk(hist_mu_);
+    st.apply = apply_hist_.Summarize();
+  }
+  LatencyHistogram merged;
+  {
+    std::lock_guard<std::mutex> lk(clients_mu_);
+    merged.Merge(retired_predict_hist_);
+    for (ServeClient* c : clients_) {
+      std::lock_guard<std::mutex> ck(c->hist_mu_);
+      merged.Merge(c->predict_hist_);
+    }
+  }
+  st.predict = merged.Summarize();
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// ServeClient
+// ---------------------------------------------------------------------------
+
+ServeClient::ServeClient(SplashService* service) : service_(service) {
+  std::lock_guard<std::mutex> lk(service_->clients_mu_);
+  service_->clients_.push_back(this);
+}
+
+ServeClient::~ServeClient() {
+  std::lock_guard<std::mutex> lk(service_->clients_mu_);
+  auto& cs = service_->clients_;
+  cs.erase(std::remove(cs.begin(), cs.end(), this), cs.end());
+  // A departed client's samples stay in the service-level digest.
+  service_->retired_predict_hist_.Merge(predict_hist_);
+}
+
+ServeResponse ServeClient::Predict(const std::vector<PropertyQuery>& queries) {
+  WallTimer timer;
+  ServeResponse resp;
+  SplashService* s = service_;
+  // Acquire on started_ is the happens-before edge to the replica
+  // pointers: a Predict racing Start() sees false and returns empty
+  // rather than reading half-prepared state.
+  if (!s->started_.load(std::memory_order_acquire)) return resp;
+  const uint32_t idx = s->gate_.Pin();
+  const SplashPredictor* rep = s->replicas_[idx].get();
+  resp.watermark_seq = s->wm_seq_[idx];
+  resp.watermark_time = s->wm_time_[idx];
+  resp.scores = rep->PredictBatchConst(queries, &scratch_);
+  uint64_t unseen = 0;
+  for (const PropertyQuery& q : queries) {
+    if (!rep->augmenter().seen(q.node)) ++unseen;
+  }
+  s->gate_.Unpin(idx);
+  s->queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  if (unseen > 0) {
+    s->unseen_node_queries_.fetch_add(unseen, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lk(hist_mu_);
+    predict_hist_.RecordNs(timer.Nanos());
+  }
+  return resp;
+}
+
+ServeResponse ServeClient::PredictNode(NodeId node, double time) {
+  query_scratch_.resize(1);
+  query_scratch_[0] = PropertyQuery{node, time, 0};
+  ServeResponse resp = Predict(query_scratch_);
+  if (resp.scores.rows() == 1 && resp.scores.cols() >= 2) {
+    resp.score = static_cast<double>(resp.scores(0, 1)) - resp.scores(0, 0);
+  }
+  return resp;
+}
+
+ServeResponse ServeClient::ScoreEdge(NodeId src, NodeId dst, double time) {
+  query_scratch_.resize(2);
+  query_scratch_[0] = PropertyQuery{src, time, 0};
+  query_scratch_[1] = PropertyQuery{dst, time, 0};
+  ServeResponse resp = Predict(query_scratch_);
+  if (resp.scores.rows() == 2 && resp.scores.cols() >= 2) {
+    const double ms =
+        static_cast<double>(resp.scores(0, 1)) - resp.scores(0, 0);
+    const double md =
+        static_cast<double>(resp.scores(1, 1)) - resp.scores(1, 0);
+    resp.score = ms > md ? ms : md;
+  }
+  return resp;
+}
+
+}  // namespace splash

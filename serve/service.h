@@ -1,0 +1,278 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// SplashService: the online serving front-end of the repo (DESIGN.md §5).
+// It turns the offline replay substrate (core/ + eval/) into a concurrent
+// ingest/query service:
+//
+//   producers ──IngestEdge/SubmitTrain──▶ bounded IngestQueue
+//                                             │ micro-batch (size/time
+//                                             ▼  watermark)
+//                                        apply thread
+//                          ObserveBulk + StageBatch/TrainStaged on the
+//                          BACK replica, then Publish() ──▶ readers
+//   readers  ──ServeClient::Predict*──▶ pinned FRONT replica
+//                                        (const snapshot, watermarked)
+//
+// Snapshot isolation. The service owns TWO identically-seeded
+// SplashPredictor replicas behind a SnapshotGate. The apply thread applies
+// each micro-batch to the back replica, publishes it (one atomic store),
+// then re-applies the same batch to the other replica on the runtime/
+// PipelineThread (overlapped with waiting for the next batch), so both
+// replicas replay the identical (ObserveBulk range, staged-train batch)
+// sequence and are bit-identical state machines one batch apart. Readers
+// pin the front replica and run the const query path
+// (SplashPredictor::PredictBatchConst) with per-client scratch — no lock,
+// no copy, never blocking ingest — and every response carries the
+// watermark (applied-edge count + last applied timestamp) of the snapshot
+// that answered it. The observe/predict boundary therefore stays explicit
+// end to end: a query at watermark W reflects exactly the edges [0, W).
+//
+// Consistency contract (serve_service_test pins it): at SPLASH_THREADS=1 a
+// response at watermark W is bit-identical to a serial replay of the
+// ingest log truncated at W; at any thread count it is bit-identical to
+// re-applying the recorded micro-batch sequence, and queries can never
+// observe a torn state (the gate drains readers before a buffer is
+// rewritten).
+//
+// Drift counters. The service boundary exposes live shift signals:
+// fraction of queried nodes unseen at training time, novel node ids in the
+// ingest stream, and timestamp regressions — the quantities the
+// robustness-under-shift literature tracks, surfaced where an operator
+// would watch them.
+
+#ifndef SPLASH_SERVE_SERVICE_H_
+#define SPLASH_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/splash.h"
+#include "core/status.h"
+#include "datasets/dataset.h"
+#include "eval/timing.h"
+#include "eval/trainer.h"
+#include "graph/edge_stream.h"
+#include "runtime/pipeline.h"
+#include "serve/ingest_queue.h"
+#include "serve/snapshot.h"
+
+namespace splash {
+
+struct SplashServiceOptions {
+  /// Micro-batch size watermark: the apply thread coalesces up to this
+  /// many ingest items per apply cycle.
+  size_t microbatch_max_items = 256;
+  /// Micro-batch time watermark: once one item is pending, how long the
+  /// apply thread waits for the batch to fill before applying anyway.
+  double microbatch_max_delay_s = 0.002;
+  /// Ingest queue capacity (items) and what happens when it is full.
+  size_t queue_capacity = 8192;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Apply SubmitTrain feedback as staged train steps at micro-batch
+  /// boundaries (online continual learning). Off = feedback is dropped.
+  bool train_on_ingest_labels = true;
+  /// Test hook: record every applied micro-batch boundary and train batch
+  /// so a test can re-apply the exact sequence (the >1-thread oracle).
+  bool record_apply_log = false;
+};
+
+/// One answered query. `watermark_seq` edges (and every train batch at or
+/// before that boundary) are reflected in `scores`; `watermark_time` is
+/// the timestamp of the last reflected edge (0 when none).
+struct ServeResponse {
+  Matrix scores;               // B x out_dim class scores
+  double score = 0.0;          // convenience margin (see PredictNode/ScoreEdge)
+  uint64_t watermark_seq = 0;
+  double watermark_time = 0.0;
+};
+
+/// Monotone counters of the service boundary (drift/quality signals).
+struct ServeCounters {
+  uint64_t ingest_accepted = 0;
+  uint64_t ingest_dropped = 0;
+  uint64_t train_accepted = 0;
+  uint64_t train_dropped = 0;
+  uint64_t batches_applied = 0;
+  uint64_t train_steps = 0;
+  uint64_t queries = 0;
+  uint64_t unseen_node_queries = 0;  // queried node not in the train seen set
+  uint64_t novel_ingest_nodes = 0;   // ids first observed by the service
+  uint64_t time_regressions = 0;     // out-of-order timestamps clamped
+  uint64_t published_seq = 0;
+  double published_time = 0.0;
+  size_t queue_depth = 0;
+};
+
+struct ServeStats {
+  ServeCounters counters;
+  LatencySummary predict;  // per-query latency, merged over clients
+  LatencySummary ingest;   // producer enqueue latency (incl. block time)
+  LatencySummary apply;    // per-micro-batch apply latency
+};
+
+class ServeClient;
+
+class SplashService {
+ public:
+  SplashService(const SplashOptions& model_opts,
+                const SplashServiceOptions& opts);
+  ~SplashService();
+
+  SplashService(const SplashService&) = delete;
+  SplashService& operator=(const SplashService&) = delete;
+
+  /// Prepares both replicas on `warmup` (feature fitting + selection and,
+  /// when `fit` is non-null, a full StreamTrainer::Fit — deterministic, so
+  /// the replicas end bit-identical), resets streaming state, and starts
+  /// the apply thread. The ingest log starts empty: watermark 0 means "no
+  /// edge beyond the fitted weights".
+  Status Start(const Dataset& warmup, const ChronoSplit& split,
+               const TrainerOptions* fit = nullptr);
+
+  /// Enqueues one edge. Returns false when rejected at the boundary
+  /// (invalid endpoint / non-finite timestamp — counted as
+  /// ingest_dropped) or dropped (kDropNewest backlog, service not
+  /// running). Out-of-order timestamps are clamped to the log's max at
+  /// apply time (counted as time_regressions).
+  bool IngestEdge(const TemporalEdge& e);
+
+  /// Enqueues one labeled training query, applied as part of a staged
+  /// train step at the next micro-batch boundary (after that batch's
+  /// edges). Returns false when dropped.
+  bool SubmitTrain(const PropertyQuery& q);
+
+  /// Blocks until everything accepted before the call is applied AND
+  /// published. No-op when not running.
+  void Flush();
+
+  /// Drains the queue, applies the tail, stops the apply thread. Queries
+  /// remain valid after Stop() (the final snapshot stays published).
+  void Stop();
+
+  bool running() const { return running_; }
+  ServeStats Stats() const;
+  uint64_t published_seq() const;
+
+  /// Test hooks — stable only while quiescent (after Flush() with no
+  /// concurrent producers, or after Stop()).
+  const EdgeStream& ingest_log() const { return log_; }
+  /// Cumulative edge count at each applied micro-batch boundary
+  /// (record_apply_log only).
+  const std::vector<uint64_t>& applied_batch_bounds() const {
+    return batch_bounds_;
+  }
+  /// (edge count at application, train batch) pairs (record_apply_log
+  /// only).
+  const std::vector<std::pair<uint64_t, std::vector<PropertyQuery>>>&
+  applied_train_batches() const {
+    return train_log_;
+  }
+
+ private:
+  friend class ServeClient;
+
+  void ApplyLoop();
+  void ApplyBatchTo(SplashPredictor* rep, size_t edge_begin, size_t edge_end,
+                    const std::vector<PropertyQuery>& train);
+
+  SplashOptions model_opts_;
+  SplashServiceOptions opts_;
+
+  std::unique_ptr<SplashPredictor> replicas_[2];
+  SnapshotGate gate_;
+  // Per-buffer watermark, written by the apply thread while the buffer is
+  // the (exclusive) back, published to readers by gate_.Publish().
+  uint64_t wm_seq_[2] = {0, 0};
+  double wm_time_[2] = {0.0, 0.0};
+
+  IngestQueue queue_;
+  EdgeStream log_;  // apply-thread-owned append; snapshot reads via bounds
+  std::thread apply_thread_;
+  PipelineThread pipe_;  // runs the catch-up re-apply of the old front
+  std::atomic<bool> running_{false};
+  // Set (release) once Start() finished initializing both replicas and
+  // never cleared: the query path's acquire load is its happens-before
+  // edge to the replica pointers, so a Predict racing Start() returns an
+  // empty response instead of reading half-prepared state. Queries stay
+  // valid after Stop() (running_ false, started_ true).
+  std::atomic<bool> started_{false};
+
+  // Flush accounting: items accepted vs applied (mu_flush_ guards applied).
+  std::atomic<uint64_t> accepted_items_{0};
+  mutable std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  uint64_t applied_items_ = 0;
+
+  // Counters (relaxed; read by Stats()).
+  std::atomic<uint64_t> ingest_accepted_{0}, ingest_dropped_{0};
+  std::atomic<uint64_t> train_accepted_{0}, train_dropped_{0};
+  std::atomic<uint64_t> batches_applied_{0}, train_steps_{0};
+  std::atomic<uint64_t> queries_{0}, unseen_node_queries_{0};
+  std::atomic<uint64_t> novel_ingest_nodes_{0}, time_regressions_{0};
+
+  // Endpoint histograms. Ingest-enqueue latency is striped by producer
+  // thread (hash of thread id) so concurrent producers do not serialize
+  // on one mutex just to bump a bucket; the apply histogram has a single
+  // writer and shares the stats lock. Per-client predict histograms are
+  // merged by Stats() under clients_mu_.
+  static constexpr size_t kIngestHistStripes = 8;
+  struct HistStripe {
+    std::mutex mu;
+    LatencyHistogram hist;
+  };
+  mutable HistStripe ingest_hist_[kIngestHistStripes];
+  void RecordIngestNs(uint64_t ns);
+  mutable std::mutex hist_mu_;
+  LatencyHistogram apply_hist_;
+  mutable std::mutex clients_mu_;
+  std::vector<ServeClient*> clients_;
+  LatencyHistogram retired_predict_hist_;  // folded in on client unregister
+
+  // Apply-thread state.
+  std::vector<IngestItem> batch_scratch_;
+  std::vector<PropertyQuery> train_scratch_;   // current batch (apply side)
+  std::vector<PropertyQuery> catchup_train_;   // stable copy for the pipe job
+  std::vector<uint8_t> node_seen_;             // novel-id tracking
+  std::vector<uint64_t> batch_bounds_;         // record_apply_log
+  std::vector<std::pair<uint64_t, std::vector<PropertyQuery>>> train_log_;
+};
+
+/// A reader handle: owns the per-thread query scratch and the per-client
+/// predict latency histogram. One per reader thread; must not outlive the
+/// service. Queries are wait-free with respect to ingest.
+class ServeClient {
+ public:
+  explicit ServeClient(SplashService* service);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Scores a batch of property queries against the current snapshot.
+  ServeResponse Predict(const std::vector<PropertyQuery>& queries);
+
+  /// Scores one node; `score` = class-1 margin (scores(0,1) - scores(0,0)).
+  ServeResponse PredictNode(NodeId node, double time);
+
+  /// Scores an edge as max of its endpoints' class-1 margins (the
+  /// service-level anomaly score; both endpoints share one snapshot).
+  ServeResponse ScoreEdge(NodeId src, NodeId dst, double time);
+
+ private:
+  friend class SplashService;
+
+  SplashService* service_;
+  SplashQueryScratch scratch_;
+  std::vector<PropertyQuery> query_scratch_;  // for the 1-2 row endpoints
+  std::mutex hist_mu_;  // Record vs Stats() merge
+  LatencyHistogram predict_hist_;
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_SERVE_SERVICE_H_

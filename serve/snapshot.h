@@ -1,0 +1,93 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// SnapshotGate: the reader/writer coordination of the serving layer's
+// double-buffered snapshot (see serve/service.h and DESIGN.md §5).
+//
+// Two buffers hold two replicas of the model state. At any moment one is
+// the *front* (the published read snapshot) and the other the *back* (the
+// single writer's work area). Readers pin the front with a per-buffer
+// refcount; the writer mutates only the back, publishes it by swapping the
+// front index, and before touching the *new* back (the old front) waits
+// for the readers still pinned there to drain.
+//
+// Progress guarantees:
+//   - readers NEVER block ingest: Pin/Unpin are a handful of atomic ops
+//     and the writer's publish is one atomic store — a reader holding a
+//     pin delays only the writer's *next* reuse of that buffer, never the
+//     enqueue path or the publish of the batch already applied;
+//   - the writer's WaitReadersDrained spins (with yield) only on queries
+//     that began before the previous publish — bounded by one query
+//     latency, not by query arrival rate.
+//
+// Memory ordering: Publish() releases the writer's state mutations;
+// Pin()'s acquire load of front_ observes them. A reader that raced a
+// publish (pinned index i, then saw front_ != i) unpins and retries
+// without having read any state, so WaitReadersDrained()'s acquire on the
+// pin count is the writer's license to mutate: every reader that will ever
+// read buffer i either already holds a visible pin or will re-route to the
+// new front.
+
+#ifndef SPLASH_SERVE_SNAPSHOT_H_
+#define SPLASH_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace splash {
+
+class SnapshotGate {
+ public:
+  SnapshotGate() : front_(0) {
+    pins_[0].store(0, std::memory_order_relaxed);
+    pins_[1].store(0, std::memory_order_relaxed);
+  }
+
+  SnapshotGate(const SnapshotGate&) = delete;
+  SnapshotGate& operator=(const SnapshotGate&) = delete;
+
+  /// Reader side: pins the current front buffer and returns its index.
+  /// Pair with Unpin(). Lock-free; retries only when a publish races the
+  /// pin (at most one extra iteration per concurrent publish).
+  uint32_t Pin() const {
+    for (;;) {
+      const uint32_t idx = front_.load(std::memory_order_acquire);
+      pins_[idx].fetch_add(1, std::memory_order_acq_rel);
+      if (front_.load(std::memory_order_acquire) == idx) return idx;
+      // A publish slipped between the load and the pin: this buffer may be
+      // handed to the writer. Release it unread and re-route.
+      pins_[idx].fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void Unpin(uint32_t idx) const {
+    pins_[idx].fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  uint32_t front() const { return front_.load(std::memory_order_acquire); }
+  uint32_t back() const { return 1u - front(); }
+
+  /// Writer side: publishes the back buffer as the new front. The caller
+  /// must have finished all mutations of the back; the release store makes
+  /// them visible to every subsequent Pin().
+  void Publish() {
+    front_.store(1u - front_.load(std::memory_order_relaxed),
+                 std::memory_order_release);
+  }
+
+  /// Writer side: blocks until no reader holds a pin on `idx`. Called on
+  /// the old front after Publish(), before mutating it as the new back.
+  void WaitReadersDrained(uint32_t idx) const {
+    while (pins_[idx].load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::atomic<uint32_t> front_;
+  mutable std::atomic<uint32_t> pins_[2];
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_SERVE_SNAPSHOT_H_

@@ -1,0 +1,349 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Correctness contracts of the serving subsystem (ISSUE 4):
+//   - ORACLE: a query answered from a snapshot at watermark W is
+//     bit-identical to a serial (SPLASH_THREADS=1) replay of the ingest
+//     log truncated at W — the snapshot scheme loses nothing and leaks
+//     nothing (no future edge, no partial batch);
+//   - the same holds with online training feedback, replaying the
+//     recorded (edge range, train batch) apply sequence;
+//   - backpressure: kDropNewest rejects beyond the queue bound and the
+//     published state reflects exactly the accepted items;
+//   - watermarks are monotone, Flush publishes everything accepted, and
+//     the drift counters (unseen-node queries, novel ingest ids) move.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/splash.h"
+#include "datasets/synthetic.h"
+#include "eval/trainer.h"
+#include "runtime/thread_pool.h"
+#include "serve/service.h"
+
+namespace splash {
+namespace {
+
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ThreadPool::SetGlobalThreads(1); }
+  void TearDown() override { ThreadPool::SetGlobalThreads(1); }
+};
+
+Dataset MakeWarmup(size_t num_edges = 3000) {
+  SyntheticConfig cfg;
+  cfg.task = TaskType::kNodeClassification;
+  cfg.num_nodes = 150;
+  cfg.num_edges = num_edges;
+  cfg.num_communities = 3;
+  cfg.intra_prob = 0.9;
+  cfg.query_rate = 0.25;
+  cfg.late_arrival_frac = 0.2;
+  cfg.seed = 21;
+  return GenerateSynthetic(cfg);
+}
+
+SplashOptions SmallModelOptions() {
+  SplashOptions opts;
+  opts.mode = SplashMode::kForceStructural;  // no selection pass: fast
+  opts.augment.feature_dim = 12;
+  opts.slim.hidden_dim = 24;
+  opts.slim.time_dim = 8;
+  opts.slim.k_recent = 5;
+  opts.slim.dropout = 0.0f;
+  opts.seed = 5;
+  return opts;
+}
+
+TrainerOptions SmallFit() {
+  TrainerOptions fit;
+  fit.epochs = 2;
+  fit.batch_size = 64;
+  fit.early_stopping = false;
+  fit.num_threads = 1;
+  fit.pipeline_depth = 0;
+  return fit;
+}
+
+/// The serving traffic: edges of `ds` after the validation boundary (the
+/// "live" period a deployed service would ingest).
+std::vector<TemporalEdge> LiveEdges(const Dataset& ds,
+                                    const ChronoSplit& split) {
+  std::vector<TemporalEdge> live;
+  for (size_t i = 0; i < ds.stream.size(); ++i) {
+    if (ds.stream[i].time > split.val_end_time) live.push_back(ds.stream[i]);
+  }
+  return live;
+}
+
+std::vector<PropertyQuery> ProbeQueries(const Dataset& ds, size_t n) {
+  std::vector<PropertyQuery> probe(ds.queries.end() - n, ds.queries.end());
+  return probe;
+}
+
+/// Serial reference: a fresh predictor through the identical deterministic
+/// prepare+fit, then per-edge replay of `edges[0..w)`.
+std::unique_ptr<SplashPredictor> MakeReference(const Dataset& ds,
+                                               const ChronoSplit& split) {
+  auto ref = std::make_unique<SplashPredictor>(SmallModelOptions());
+  EXPECT_TRUE(ref->Prepare(ds, split).ok());
+  TrainerOptions fit = SmallFit();
+  StreamTrainer trainer(fit);
+  trainer.Fit(ref.get(), ds, split);
+  ref->SetTraining(false);
+  ref->ResetState();
+  return ref;
+}
+
+void ExpectBitEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << what << " element " << i;
+  }
+}
+
+TEST_F(ServeServiceTest, SnapshotQueryBitIdenticalToSerialReplayTruncatedAtW) {
+  const Dataset ds = MakeWarmup();
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.3);
+  const std::vector<TemporalEdge> live = LiveEdges(ds, split);
+  ASSERT_GT(live.size(), 400u);
+  const std::vector<PropertyQuery> probe = ProbeQueries(ds, 40);
+
+  SplashServiceOptions sopts;
+  sopts.microbatch_max_items = 64;
+  sopts.microbatch_max_delay_s = 0.0005;
+  sopts.train_on_ingest_labels = false;
+  SplashService service(SmallModelOptions(), sopts);
+  TrainerOptions fit = SmallFit();
+  ASSERT_TRUE(service.Start(ds, split, &fit).ok());
+  ServeClient client(&service);
+
+  // Ingest in uneven chunks; at each Flush the published watermark must be
+  // exactly the ingest count and the answer bit-identical to a serial
+  // replay truncated there.
+  auto ref = MakeReference(ds, split);
+  size_t ref_cursor = 0;
+  size_t fed = 0;
+  for (const size_t chunk : {7u, 150u, 64u, 233u}) {
+    for (size_t i = 0; i < chunk && fed < live.size(); ++i, ++fed) {
+      ASSERT_TRUE(service.IngestEdge(live[fed]));
+    }
+    service.Flush();
+
+    ServeResponse resp = client.Predict(probe);
+    ASSERT_EQ(resp.watermark_seq, fed) << "Flush did not publish everything";
+    EXPECT_EQ(resp.watermark_time, fed > 0 ? live[fed - 1].time : 0.0);
+
+    // Serial truncated replay to the same watermark (the reference clamps
+    // timestamps the same way the service log does — none regress here).
+    for (; ref_cursor < fed; ++ref_cursor) {
+      ref->ObserveEdge(live[ref_cursor], ref_cursor);
+    }
+    const Matrix want = ref->PredictBatch(probe);
+    ExpectBitEqual(want, resp.scores, "snapshot vs serial replay");
+  }
+  service.Stop();
+
+  // The snapshot survives Stop(): same watermark, same bits.
+  ServeResponse after = client.Predict(probe);
+  EXPECT_EQ(after.watermark_seq, fed);
+  const Matrix want = ref->PredictBatch(probe);
+  ExpectBitEqual(want, after.scores, "post-Stop snapshot");
+}
+
+TEST_F(ServeServiceTest, TrainingFeedbackReplaysBitIdenticalViaApplyLog) {
+  const Dataset ds = MakeWarmup();
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.3);
+  const std::vector<TemporalEdge> live = LiveEdges(ds, split);
+  const std::vector<PropertyQuery> probe = ProbeQueries(ds, 30);
+
+  SplashServiceOptions sopts;
+  sopts.microbatch_max_items = 48;
+  sopts.microbatch_max_delay_s = 0.0005;
+  sopts.train_on_ingest_labels = true;
+  sopts.record_apply_log = true;
+  SplashService service(SmallModelOptions(), sopts);
+  TrainerOptions fit = SmallFit();
+  ASSERT_TRUE(service.Start(ds, split, &fit).ok());
+  ServeClient client(&service);
+
+  // Interleave edges with labeled feedback (every 10th edge's destination).
+  const size_t n = std::min<size_t>(live.size(), 600);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(service.IngestEdge(live[i]));
+    if (i % 10 == 9) {
+      PropertyQuery q;
+      q.node = live[i].dst;
+      q.time = live[i].time;
+      q.class_label = static_cast<int>(i / 10 % 3);
+      ASSERT_TRUE(service.SubmitTrain(q));
+    }
+  }
+  service.Flush();
+  ServeResponse resp = client.Predict(probe);
+  EXPECT_EQ(resp.watermark_seq, n);
+  service.Stop();
+  EXPECT_GT(service.Stats().counters.train_steps, 0u);
+
+  // Reference: replay the recorded apply sequence — ObserveBulk per batch
+  // boundary, staged train at the recorded positions — at the same thread
+  // count. Bit-identical because both replicas and the reference are the
+  // same deterministic state machine fed the same ops.
+  auto ref = MakeReference(ds, split);
+  const EdgeStream& log = service.ingest_log();
+  ASSERT_EQ(log.size(), n);
+  const auto& bounds = service.applied_batch_bounds();
+  const auto& trains = service.applied_train_batches();
+  size_t cursor = 0;
+  size_t train_i = 0;
+  for (const uint64_t bound : bounds) {
+    if (bound > cursor) {
+      ref->ObserveBulk(log, cursor, bound);
+      cursor = bound;
+    }
+    while (train_i < trains.size() && trains[train_i].first == bound) {
+      ref->SetTraining(true);
+      ref->StageBatch(trains[train_i].second);
+      ref->TrainStaged();
+      ref->SetTraining(false);
+      ++train_i;
+    }
+  }
+  ASSERT_EQ(cursor, n);
+  ASSERT_EQ(train_i, trains.size());
+  const Matrix want = ref->PredictBatch(probe);
+  ExpectBitEqual(want, resp.scores, "train-feedback snapshot vs replay");
+}
+
+TEST_F(ServeServiceTest, DropNewestBackpressureCountsAndStaysConsistent) {
+  const Dataset ds = MakeWarmup(1200);
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.3);
+  const std::vector<TemporalEdge> live = LiveEdges(ds, split);
+  ASSERT_GT(live.size(), 100u);
+
+  SplashServiceOptions sopts;
+  sopts.queue_capacity = 2;
+  sopts.backpressure = BackpressurePolicy::kDropNewest;
+  // Large coalescing window: the queue stays full while the apply thread
+  // waits for the batch to fill, forcing drops deterministically.
+  sopts.microbatch_max_items = 1024;
+  sopts.microbatch_max_delay_s = 0.2;
+  sopts.train_on_ingest_labels = false;
+  SplashService service(SmallModelOptions(), sopts);
+  ASSERT_TRUE(service.Start(ds, split, nullptr).ok());
+
+  size_t accepted = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (service.IngestEdge(live[i])) ++accepted;
+  }
+  service.Flush();
+  service.Stop();
+
+  const ServeStats st = service.Stats();
+  EXPECT_GT(st.counters.ingest_dropped, 0u) << "queue of 2 never overflowed?";
+  EXPECT_EQ(st.counters.ingest_accepted, accepted);
+  EXPECT_EQ(st.counters.ingest_accepted + st.counters.ingest_dropped, 100u);
+  // Published state reflects exactly the accepted prefix.
+  EXPECT_EQ(st.counters.published_seq, accepted);
+  EXPECT_EQ(service.ingest_log().size(), accepted);
+}
+
+TEST_F(ServeServiceTest, DriftCountersAndLatencyHistogramsMove) {
+  const Dataset ds = MakeWarmup(1500);
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.3);
+  const std::vector<TemporalEdge> live = LiveEdges(ds, split);
+
+  SplashServiceOptions sopts;
+  sopts.microbatch_max_items = 32;
+  sopts.microbatch_max_delay_s = 0.0005;
+  SplashService service(SmallModelOptions(), sopts);
+  ASSERT_TRUE(service.Start(ds, split, nullptr).ok());
+  ServeClient client(&service);
+
+  const double t_end = ds.stream.max_time();
+  // A node id far beyond the warmup id space: novel on ingest, unseen on
+  // query — both drift counters must move.
+  const NodeId novel = static_cast<NodeId>(ds.stream.num_nodes() + 500);
+  ASSERT_TRUE(service.IngestEdge(TemporalEdge(novel, live[0].src, t_end)));
+  // An out-of-order straggler: clamped, counted.
+  ASSERT_TRUE(
+      service.IngestEdge(TemporalEdge(live[0].src, live[0].dst, t_end - 5.0)));
+  service.Flush();
+
+  ServeResponse r1 = client.PredictNode(novel, t_end + 1.0);
+  EXPECT_EQ(r1.watermark_seq, 2u);
+  EXPECT_EQ(r1.watermark_time, t_end);  // straggler clamped to t_end
+  (void)client.ScoreEdge(live[0].src, live[0].dst, t_end + 1.0);
+  service.Stop();
+
+  const ServeStats st = service.Stats();
+  EXPECT_GE(st.counters.novel_ingest_nodes, 1u);
+  EXPECT_GE(st.counters.unseen_node_queries, 1u);
+  EXPECT_EQ(st.counters.time_regressions, 1u);
+  EXPECT_EQ(st.counters.queries, 3u);  // 1 + 2 endpoint rows
+  EXPECT_EQ(st.predict.count, 2u);     // two Predict calls
+  EXPECT_GT(st.predict.p99_ns, 0.0);
+  EXPECT_GE(st.ingest.count, 2u);
+  EXPECT_GT(st.apply.count, 0u);
+  EXPECT_GT(st.counters.batches_applied, 0u);
+}
+
+TEST_F(ServeServiceTest, InvalidEdgesRejectedAtTheBoundary) {
+  const Dataset ds = MakeWarmup(1200);
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.3);
+  SplashServiceOptions sopts;
+  SplashService service(SmallModelOptions(), sopts);
+  ASSERT_TRUE(service.Start(ds, split, nullptr).ok());
+
+  const double t = ds.stream.max_time();
+  // Sentinel endpoint and non-finite timestamps must be rejected before
+  // they can reach the log or size the node tables.
+  EXPECT_FALSE(service.IngestEdge(TemporalEdge()));
+  EXPECT_FALSE(service.IngestEdge(TemporalEdge(1, kInvalidNode, t)));
+  EXPECT_FALSE(service.IngestEdge(
+      TemporalEdge(1, 2, std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_FALSE(service.IngestEdge(
+      TemporalEdge(1, 2, std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(service.IngestEdge(TemporalEdge(1, 2, t)));
+  service.Flush();
+  service.Stop();
+
+  const ServeStats st = service.Stats();
+  EXPECT_EQ(st.counters.ingest_dropped, 4u);
+  EXPECT_EQ(st.counters.ingest_accepted, 1u);
+  EXPECT_EQ(service.ingest_log().size(), 1u);
+  EXPECT_EQ(st.counters.published_seq, 1u);
+}
+
+TEST_F(ServeServiceTest, WatermarkMonotonePerClientAcrossUnflushedIngest) {
+  const Dataset ds = MakeWarmup(2000);
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.3);
+  const std::vector<TemporalEdge> live = LiveEdges(ds, split);
+
+  SplashServiceOptions sopts;
+  sopts.microbatch_max_items = 16;
+  sopts.microbatch_max_delay_s = 0.0;
+  SplashService service(SmallModelOptions(), sopts);
+  ASSERT_TRUE(service.Start(ds, split, nullptr).ok());
+  ServeClient client(&service);
+
+  uint64_t last = 0;
+  const size_t n = std::min<size_t>(live.size(), 500);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(service.IngestEdge(live[i]));
+    if (i % 25 == 0) {
+      const ServeResponse r = client.PredictNode(live[i].src, live[i].time);
+      EXPECT_GE(r.watermark_seq, last) << "watermark went backwards";
+      EXPECT_LE(r.watermark_seq, i + 1) << "watermark saw the future";
+      last = r.watermark_seq;
+    }
+  }
+  service.Stop();
+  EXPECT_EQ(service.published_seq(), n);
+}
+
+}  // namespace
+}  // namespace splash

@@ -1,0 +1,204 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Concurrency stress of the serving subsystem — the test CI runs under
+// ThreadSanitizer. One producer ingests edges (plus training feedback)
+// while several reader threads hammer the query path and the main thread
+// polls Stats(). The assertions target torn state:
+//   - every response's (watermark_seq, watermark_time) pair must name a
+//     real log prefix — a reader overlapping a half-applied batch would
+//     report a seq/time pair the final log contradicts;
+//   - after Stop(), the published snapshot must be bit-identical to
+//     re-applying the recorded micro-batch sequence to a fresh replica at
+//     the same thread count — a lost or doubled batch cannot hide;
+//   - TSan itself checks the pin/publish protocol's happens-before edges.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/splash.h"
+#include "datasets/synthetic.h"
+#include "eval/trainer.h"
+#include "runtime/thread_pool.h"
+#include "serve/service.h"
+
+namespace splash {
+namespace {
+
+class ServeStressTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetGlobalThreads(1); }
+};
+
+SplashOptions StressModelOptions() {
+  SplashOptions opts;
+  opts.mode = SplashMode::kForceStructural;
+  opts.augment.feature_dim = 12;
+  opts.slim.hidden_dim = 24;
+  opts.slim.time_dim = 8;
+  opts.slim.k_recent = 5;
+  opts.slim.dropout = 0.0f;
+  opts.seed = 11;
+  return opts;
+}
+
+TEST_F(ServeStressTest, ConcurrentIngestAndQueriesNeverObserveTornState) {
+  // Multiple pool workers so ObserveBulk/StageBatch fan out while readers
+  // run — the data-race surface TSan needs to see exercised.
+  ThreadPool::SetGlobalThreads(2);
+
+  SyntheticConfig cfg;
+  cfg.task = TaskType::kNodeClassification;
+  cfg.num_nodes = 200;
+  cfg.num_edges = 5000;
+  cfg.num_communities = 3;
+  cfg.query_rate = 0.2;
+  cfg.seed = 31;
+  const Dataset ds = GenerateSynthetic(cfg);
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.3);
+  std::vector<TemporalEdge> live;
+  for (size_t i = 0; i < ds.stream.size(); ++i) {
+    if (ds.stream[i].time > split.val_end_time) live.push_back(ds.stream[i]);
+  }
+  ASSERT_GT(live.size(), 1000u);
+
+  SplashServiceOptions sopts;
+  sopts.microbatch_max_items = 64;
+  sopts.microbatch_max_delay_s = 0.0002;
+  sopts.queue_capacity = 1024;
+  sopts.backpressure = BackpressurePolicy::kBlock;
+  sopts.train_on_ingest_labels = true;
+  sopts.record_apply_log = true;
+  SplashService service(StressModelOptions(), sopts);
+  TrainerOptions fit;
+  fit.epochs = 1;
+  fit.batch_size = 128;
+  fit.early_stopping = false;
+  fit.num_threads = 2;
+  fit.pipeline_depth = 1;
+  ASSERT_TRUE(service.Start(ds, split, &fit).ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> fed{0};
+
+  std::thread producer([&] {
+    for (size_t i = 0; i < live.size(); ++i) {
+      // Advance the bound BEFORE the enqueue: the apply thread can publish
+      // the edge the instant Push returns, so the invariant readers check
+      // is watermark <= edges *offered*, not edges already acknowledged.
+      fed.store(i + 1, std::memory_order_release);
+      EXPECT_TRUE(service.IngestEdge(live[i]));  // kBlock: lossless
+      if (i % 16 == 15) {
+        PropertyQuery q;
+        q.node = live[i].dst;
+        q.time = live[i].time;
+        q.class_label = static_cast<int>(i % 3);
+        service.SubmitTrain(q);
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  struct Seen {
+    uint64_t seq;
+    double time;
+  };
+  std::vector<std::vector<Seen>> seen(3);
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < seen.size(); ++r) {
+    readers.emplace_back([&, r] {
+      ServeClient client(&service);
+      uint64_t last_seq = 0;
+      size_t i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const TemporalEdge& e = live[(r * 97 + i * 13) % live.size()];
+        const ServeResponse resp =
+            (i % 2 == 0) ? client.PredictNode(e.src, e.time)
+                         : client.ScoreEdge(e.src, e.dst, e.time);
+        // A snapshot can never be ahead of the producer, nor regress.
+        EXPECT_LE(resp.watermark_seq, fed.load(std::memory_order_acquire));
+        EXPECT_GE(resp.watermark_seq, last_seq);
+        last_seq = resp.watermark_seq;
+        seen[r].push_back({resp.watermark_seq, resp.watermark_time});
+        ++i;
+      }
+    });
+  }
+
+  // Main thread: poll the stats endpoint concurrently (merges the client
+  // histograms while they record).
+  while (!done.load(std::memory_order_acquire)) {
+    const ServeStats st = service.Stats();
+    EXPECT_LE(st.counters.published_seq, fed.load());
+    std::this_thread::yield();
+  }
+  producer.join();
+  for (std::thread& t : readers) t.join();
+  service.Flush();
+  service.Stop();
+
+  // Post-hoc torn-state audit: every observed (seq, time) names a real log
+  // prefix of the final ingest log.
+  const EdgeStream& log = service.ingest_log();
+  ASSERT_EQ(log.size(), live.size());
+  for (const auto& lane : seen) {
+    for (const Seen& s : lane) {
+      ASSERT_LE(s.seq, log.size());
+      const double want = s.seq == 0 ? 0.0 : log.time_data()[s.seq - 1];
+      ASSERT_EQ(s.time, want)
+          << "response watermark (seq=" << s.seq
+          << ") does not match the log — torn snapshot";
+    }
+  }
+
+  // Final-state oracle at the same thread count: re-apply the recorded
+  // micro-batch sequence to a fresh, identically-fitted replica.
+  auto ref = std::make_unique<SplashPredictor>(StressModelOptions());
+  ASSERT_TRUE(ref->Prepare(ds, split).ok());
+  {
+    StreamTrainer trainer(fit);
+    trainer.Fit(ref.get(), ds, split);
+  }
+  ref->SetTraining(false);
+  ref->ResetState();
+  const auto& bounds = service.applied_batch_bounds();
+  const auto& trains = service.applied_train_batches();
+  size_t cursor = 0, train_i = 0;
+  for (const uint64_t bound : bounds) {
+    if (bound > cursor) {
+      ref->ObserveBulk(log, cursor, bound);
+      cursor = bound;
+    }
+    while (train_i < trains.size() && trains[train_i].first == bound) {
+      ref->SetTraining(true);
+      ref->StageBatch(trains[train_i].second);
+      ref->TrainStaged();
+      ref->SetTraining(false);
+      ++train_i;
+    }
+  }
+  ASSERT_EQ(cursor, log.size());
+
+  std::vector<PropertyQuery> probe(ds.queries.end() - 32, ds.queries.end());
+  const Matrix want = ref->PredictBatch(probe);
+  ServeClient client(&service);
+  const ServeResponse resp = client.Predict(probe);
+  ASSERT_EQ(resp.watermark_seq, log.size());
+  ASSERT_EQ(want.rows(), resp.scores.rows());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want.data()[i], resp.scores.data()[i])
+        << "final snapshot diverged from the recorded apply sequence at "
+        << i;
+  }
+
+  const ServeStats st = service.Stats();
+  EXPECT_EQ(st.counters.ingest_dropped, 0u);  // kBlock is lossless
+  EXPECT_EQ(st.counters.ingest_accepted, live.size());
+  EXPECT_GT(st.counters.queries, 0u);
+  EXPECT_GT(st.predict.count, 0u);
+}
+
+}  // namespace
+}  // namespace splash

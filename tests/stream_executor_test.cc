@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "baselines/standins.h"
 #include "core/feature_augmentation.h"
 #include "core/splash.h"
 #include "datasets/synthetic.h"
@@ -187,6 +188,77 @@ TEST_F(StreamExecutorTest, Depth1SameProcessAndCloseMetricsAtFourThreads) {
   EXPECT_EQ(piped.test_metric, piped2.test_metric);
   for (size_t i = 0; i < piped.final_scores.size(); ++i) {
     ASSERT_EQ(piped.final_scores.data()[i], piped2.final_scores.data()[i]);
+  }
+}
+
+/// Fit + Evaluate one predictor at the given pipeline depth and probe its
+/// final weights through predictions on a fixed tail batch.
+struct BaselineOutcome {
+  double val_metric;
+  double test_metric;
+  Matrix final_scores;
+};
+
+BaselineOutcome RunBaseline(TemporalPredictor* model, const Dataset& ds,
+                            const ChronoSplit& split, size_t depth) {
+  EXPECT_TRUE(model->Prepare(ds, split).ok());
+  TrainerOptions topts;
+  topts.epochs = 2;
+  topts.batch_size = 64;
+  topts.early_stopping = false;
+  topts.num_threads = 1;
+  topts.pipeline_depth = depth;
+  StreamTrainer trainer(topts);
+
+  BaselineOutcome out;
+  out.val_metric = trainer.Fit(model, ds, split).best_val_metric;
+  out.test_metric = trainer.Evaluate(model, ds, split).metric;
+  std::vector<PropertyQuery> probe(ds.queries.end() - 40, ds.queries.end());
+  out.final_scores = model->PredictBatch(probe);
+  return out;
+}
+
+TEST_F(StreamExecutorTest, BaselineStandinsStagedDepth1BitIdenticalToDepth0) {
+  // The stand-ins now implement the split-phase API (ISSUE 4 satellite):
+  // at one thread the pipelined path must reproduce the serial path bit
+  // for bit. TGN+RF is the hardest case (per-edge node-memory mutation in
+  // ObserveEdge); SLADE covers the training-free staging.
+  const Dataset ds = MakeDataset();
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.15);
+
+  {
+    TgnnStandinOptions bopts;
+    bopts.family = TgnnFamily::kTgn;
+    bopts.random_features = true;
+    bopts.feature_dim = 16;
+    bopts.hidden_dim = 24;
+    bopts.time_dim = 8;
+    bopts.k_recent = 5;
+    bopts.seed = 77;
+    TgnnStandin serial(bopts), piped(bopts);
+    ASSERT_TRUE(serial.SupportsStagedBatches());
+    const BaselineOutcome a = RunBaseline(&serial, ds, split, 0);
+    const BaselineOutcome b = RunBaseline(&piped, ds, split, 1);
+    EXPECT_EQ(a.val_metric, b.val_metric);    // bit-identical
+    EXPECT_EQ(a.test_metric, b.test_metric);  // bit-identical
+    ASSERT_EQ(a.final_scores.size(), b.final_scores.size());
+    for (size_t i = 0; i < a.final_scores.size(); ++i) {
+      ASSERT_EQ(a.final_scores.data()[i], b.final_scores.data()[i])
+          << "TGN+RF score element " << i;
+    }
+  }
+  {
+    SladeStandinOptions bopts;
+    bopts.k_recent = 5;
+    SladeStandin serial(bopts), piped(bopts);
+    ASSERT_TRUE(serial.SupportsStagedBatches());
+    const BaselineOutcome a = RunBaseline(&serial, ds, split, 0);
+    const BaselineOutcome b = RunBaseline(&piped, ds, split, 1);
+    EXPECT_EQ(a.test_metric, b.test_metric);
+    for (size_t i = 0; i < a.final_scores.size(); ++i) {
+      ASSERT_EQ(a.final_scores.data()[i], b.final_scores.data()[i])
+          << "SLADE score element " << i;
+    }
   }
 }
 

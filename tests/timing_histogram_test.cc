@@ -1,0 +1,165 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Contracts of the LatencyHistogram (eval/timing.h), the per-endpoint
+// quantile digest of the serving layer:
+//   - quantiles agree with a sorted reference within the log-linear
+//     bucketing's relative error bound (1/16 per sample);
+//   - merging per-thread histograms is exact: bucket-wise identical to
+//     recording everything into one;
+//   - the record path performs zero heap allocations at steady state
+//     (it sits on the serving hot path).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "eval/timing.h"
+#include "tensor/rng.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<size_t> g_alloc_count{0};
+
+void* CountedAlloc(size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace splash {
+namespace {
+
+/// Log-normal-ish latency samples spanning ns to ms, deterministic.
+std::vector<uint64_t> MakeSamples(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    // exp(gaussian) stretched across ~4 decades, floored at 1ns.
+    float g;
+    rng.FillGaussian(&g, 1, 1.5f);
+    const double x = std::exp(static_cast<double>(g)) * 5e4;
+    v[i] = x < 1.0 ? 1 : static_cast<uint64_t>(x);
+  }
+  return v;
+}
+
+/// The ceil(q*n)-th smallest sample — the histogram's documented target.
+double ExactQuantile(std::vector<uint64_t> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const double target = q * static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(target);
+  if (static_cast<double>(rank) != target) ++rank;
+  rank = rank > 0 ? rank - 1 : 0;
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return static_cast<double>(sorted[rank]);
+}
+
+TEST(LatencyHistogramTest, QuantilesMatchSortedReferenceWithinBucketError) {
+  const std::vector<uint64_t> samples = MakeSamples(20000, 77);
+  LatencyHistogram h;
+  for (const uint64_t s : samples) h.RecordNs(s);
+  ASSERT_EQ(h.count(), samples.size());
+
+  uint64_t total = 0, mx = 0, mn = ~uint64_t{0};
+  for (const uint64_t s : samples) {
+    total += s;
+    mx = std::max(mx, s);
+    mn = std::min(mn, s);
+  }
+  EXPECT_EQ(h.total_ns(), total);
+  EXPECT_EQ(h.max_ns(), mx);
+  EXPECT_EQ(h.min_ns(), mn);
+
+  // The bucketing guarantees <= 1/16 relative error per sample; quantile
+  // midpointing adds at most half a bucket more. 8% covers both.
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double want = ExactQuantile(samples, q);
+    const double got = h.QuantileNs(q);
+    EXPECT_NEAR(got, want, 0.08 * want + 1.0)
+        << "quantile " << q << " off: got " << got << " want " << want;
+  }
+  EXPECT_EQ(h.QuantileNs(0.0), static_cast<double>(mn));
+  EXPECT_EQ(h.QuantileNs(1.0), static_cast<double>(mx));
+}
+
+TEST(LatencyHistogramTest, MergeOfPerThreadHistogramsIsExact) {
+  const std::vector<uint64_t> samples = MakeSamples(8000, 91);
+  LatencyHistogram whole;
+  LatencyHistogram parts[4];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    whole.RecordNs(samples[i]);
+    parts[i % 4].RecordNs(samples[i]);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& p : parts) merged.Merge(p);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.total_ns(), whole.total_ns());
+  EXPECT_EQ(merged.min_ns(), whole.min_ns());
+  EXPECT_EQ(merged.max_ns(), whole.max_ns());
+  // Bucket contents are identical, so every quantile is bit-equal.
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.QuantileNs(q), whole.QuantileNs(q)) << "q=" << q;
+  }
+  const LatencySummary a = merged.Summarize(), b = whole.Summarize();
+  EXPECT_EQ(a.p50_ns, b.p50_ns);
+  EXPECT_EQ(a.p99_ns, b.p99_ns);
+  EXPECT_EQ(a.p999_ns, b.p999_ns);
+}
+
+TEST(LatencyHistogramTest, RecordPathIsAllocationFreeAtSteadyState) {
+  LatencyHistogram h;  // fixed-size member array: no warm-up needed
+  const std::vector<uint64_t> samples = MakeSamples(4096, 13);
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_seq_cst);
+  for (const uint64_t s : samples) h.RecordNs(s);
+  const double p99 = h.QuantileNs(0.99);
+  g_counting.store(false, std::memory_order_seq_cst);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "Record/Quantile allocated on the hot path";
+  EXPECT_GT(p99, 0.0);
+  EXPECT_EQ(h.count(), samples.size());
+}
+
+TEST(LatencyHistogramTest, SmallExactBucketsAndEmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.QuantileNs(0.5), 0.0);
+  EXPECT_EQ(h.min_ns(), 0u);
+
+  // Values below 16ns land in exact unit buckets: quantiles are exact.
+  for (uint64_t v = 0; v < 16; ++v) h.RecordNs(v);
+  EXPECT_EQ(h.QuantileNs(0.0), 0.0);
+  EXPECT_EQ(h.QuantileNs(1.0), 15.0);
+  // ceil(0.5*16) = 8th smallest of 0..15 = value 7, exact bucket.
+  EXPECT_EQ(h.QuantileNs(0.5), 7.0);
+  // One outlier among 99 small samples must NOT be reported as p99:
+  // ceil(0.99*100) = 99th smallest, which is still small.
+  LatencyHistogram h2;
+  for (int i = 0; i < 99; ++i) h2.RecordNs(10);
+  h2.RecordNs(50000000);  // 50ms straggler
+  EXPECT_EQ(h2.QuantileNs(0.99), 10.0);
+  EXPECT_EQ(h2.QuantileNs(1.0), 50000000.0);
+}
+
+}  // namespace
+}  // namespace splash
