@@ -17,7 +17,9 @@
 #include "graph/degree_tracker.h"
 #include "graph/neighbor_memory.h"
 #include "runtime/thread_pool.h"
+#include "tensor/matrix.h"
 #include "tensor/rng.h"
+#include "tensor/simd.h"
 
 namespace splash {
 namespace {
@@ -107,6 +109,95 @@ void BM_DegreeEncode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DegreeEncode);
+
+// --- kernel-backend rows (Args = m, k, n) ----------------------------------
+// Pinned GEMM shapes from the SLIM hot paths, recorded per resolved kernel
+// backend (the JSON context carries kernel_backend + cpu_features;
+// scripts/bench.sh snapshots scalar and, when available, embeds the avx2
+// side-run so the speedup is visible side-by-side in BENCH_micro.json).
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const size_t n = static_cast<size_t>(state.range(2));
+  Rng rng(21);
+  const Matrix a = Matrix::Gaussian(m, k, &rng);
+  const Matrix b = Matrix::Gaussian(k, n, &rng);
+  Matrix c(m, n);
+  for (auto _ : state) {
+    MatMulRange(a, b, &c, 0, m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+// The neighbor-message GEMM (B*K x Dv+Dt @ W1) and the head GEMM shapes.
+BENCHMARK(BM_MatMul)->Args({256, 48, 64})->Args({2560, 48, 64});
+
+void BM_MatMulTransA(benchmark::State& state) {
+  const size_t r = static_cast<size_t>(state.range(0));
+  const size_t m = static_cast<size_t>(state.range(1));
+  const size_t n = static_cast<size_t>(state.range(2));
+  Rng rng(22);
+  const Matrix a = Matrix::Gaussian(r, m, &rng);
+  const Matrix b = Matrix::Gaussian(r, n, &rng);
+  Matrix c(m, n);
+  for (auto _ : state) {
+    c.SetZero();  // range calls never zero (the gradient-kernel contract)
+    MatMulTransARange(a, b, &c, 0, r);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * r * m * n);
+}
+// The w3 gradient shape: cat2^T (256x128) x d_h (256x64).
+BENCHMARK(BM_MatMulTransA)->Args({256, 128, 64});
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const size_t n = static_cast<size_t>(state.range(2));
+  Rng rng(23);
+  const Matrix a = Matrix::Gaussian(m, k, &rng);
+  const Matrix b = Matrix::Gaussian(n, k, &rng);
+  Matrix c(m, n);
+  for (auto _ : state) {
+    MatMulTransBRange(a, b, &c, 0, m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+// The d_cat2 backward shape: d_h (256x64) x w3^T (128x64).
+BENCHMARK(BM_MatMulTransB)->Args({256, 64, 128});
+
+// The fused forward path the serving layer reads through: PredictConst
+// (GEMM + bias + ReLU in one tile pass) on caller scratch.
+void BM_SlimForwardFused(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  SlimOptions opts;
+  opts.feature_dim = 32;
+  opts.time_dim = 16;
+  opts.hidden_dim = 64;
+  opts.out_dim = 2;
+  opts.k_recent = 10;
+  opts.dropout = 0.0f;
+  Rng rng(24);
+  SlimModel slim(opts, &rng);
+  slim.SetTraining(false);
+
+  SlimBatchInput input;
+  input.node_feats = Matrix::Gaussian(batch, 32, &rng);
+  input.neighbor_feats = Matrix::Gaussian(batch * 10, 32, &rng);
+  input.time_deltas.assign(batch * 10, 1.0);
+  input.mask = Matrix::Ones(batch, 10);
+  input.edge_weights.assign(batch * 10, 1.0f);
+
+  SlimForwardScratch scratch;
+  for (auto _ : state) {
+    const Matrix& out = slim.PredictConst(input, &scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SlimForwardFused)->Arg(256);
 
 void BM_SlimForward(benchmark::State& state) {
   const size_t batch = state.range(0);
@@ -269,4 +360,16 @@ BENCHMARK(BM_NeighborMemoryObserveBulkThreads)->Arg(1)->Arg(4);
 }  // namespace
 }  // namespace splash
 
-BENCHMARK_MAIN();
+// Custom main: records the resolved kernel backend and the host's cpuid
+// feature summary in the JSON context, so every committed snapshot is
+// attributable to (backend, ISA) and check_bench_regression.py can refuse
+// to compare unlike backends.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("kernel_backend", splash::KernelBackendName());
+  benchmark::AddCustomContext("cpu_features", splash::CpuFeatureString());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

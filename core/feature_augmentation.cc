@@ -335,16 +335,10 @@ void FeatureAugmenter::WritePlainRandom(NodeId node, float* out) const {
 void FeatureAugmenter::EncodeDegree(size_t degree, float* out) const {
   // Sinusoidal encoding of log(1 + degree) at geometrically spaced
   // frequencies — nearby degrees get nearby codes, scale-free overall.
-  const size_t dim = opts_.feature_dim;
-  const float x = std::log1p(static_cast<float>(degree));
-  float freq = 1.0f;
-  for (size_t j = 0; j + 1 < dim; j += 2) {
-    const float a = x * freq;
-    out[j] = std::sin(a);
-    out[j + 1] = std::cos(a);
-    freq *= 0.6f;
-  }
-  if (dim % 2 == 1) out[dim - 1] = x * 0.1f;
+  // Runs on the dispatched sincos kernel (tensor/simd.h): this is the
+  // per-query/per-row hot loop of batch assembly and the serve read path.
+  SincosEncode(std::log1p(static_cast<float>(degree)), 0.6f, out,
+               opts_.feature_dim);
 }
 
 }  // namespace splash

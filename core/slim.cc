@@ -33,12 +33,15 @@ void SlimForwardScratch::Resize(size_t b, size_t k_recent, size_t feature_dim,
                                 size_t time_dim, size_t hidden_dim,
                                 size_t out_dim, bool dropout) {
   const size_t bk = b * k_recent;
-  cat1.Resize(bk, feature_dim + time_dim);
-  msg_pre.Resize(bk, hidden_dim);
-  agg.Resize(b, hidden_dim);
-  self_pre.Resize(b, hidden_dim);
-  cat2.Resize(b, 2 * hidden_dim);
-  h_pre.Resize(b, hidden_dim);
+  // Activations use the padded layout (64B-aligned rows) so the SIMD
+  // backends run whole-vector steady loops; `out` stays contiguous because
+  // external consumers (eval/trainer score gather) flat-copy it.
+  cat1.ResizePadded(bk, feature_dim + time_dim);
+  msg_pre.ResizePadded(bk, hidden_dim);
+  agg.ResizePadded(b, hidden_dim);
+  self_pre.ResizePadded(b, hidden_dim);
+  cat2.ResizePadded(b, 2 * hidden_dim);
+  h_pre.ResizePadded(b, hidden_dim);
   out.Resize(b, out_dim);
   inv_weight.resize(b);
   if (dropout) drop_mask.resize(b * hidden_dim);
@@ -95,14 +98,9 @@ void SlimModel::EncodeTime(const std::vector<double>& deltas, size_t i0,
     float* row = s->cat1.Row(i) + dv;
     const float x = std::log1p(
         static_cast<float>(deltas[i] < 0.0 ? 0.0 : deltas[i]));
-    float freq = 1.0f;
-    for (size_t j = 0; j + 1 < dt_dim; j += 2) {
-      const float a = x * freq;
-      row[j] = std::sin(a);
-      row[j + 1] = std::cos(a);
-      freq *= 0.5f;
-    }
-    if (dt_dim % 2 == 1) row[dt_dim - 1] = x * 0.1f;
+    // Dispatched sincos kernel (tensor/simd.h): libm on the scalar
+    // reference backend, 8-lane polynomial sincos on avx2.
+    SincosEncode(x, 0.5f, row, dt_dim);
   }
 }
 
@@ -112,11 +110,11 @@ void SlimModel::ResizeScratch(size_t b, bool for_training) {
   fwd_.Resize(b, k, opts_.feature_dim, opts_.time_dim, h, o,
               training_ && opts_.dropout > 0.0f);
   if (for_training) {
-    d_out_.Resize(b, o);
-    d_h_.Resize(b, h);
-    d_cat2_.Resize(b, 2 * h);
-    d_self_.Resize(b, h);
-    d_msg_.Resize(bk, h);
+    d_out_.ResizePadded(b, o);
+    d_h_.ResizePadded(b, h);
+    d_cat2_.ResizePadded(b, 2 * h);
+    d_self_.ResizePadded(b, h);
+    d_msg_.ResizePadded(bk, h);
   }
 }
 
@@ -134,15 +132,11 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
   }
   EncodeTime(input.time_deltas, n0, n1, s);
 
-  MatMulRange(s->cat1, w1_.w, &s->msg_pre, n0, n1);
-  for (size_t i = n0; i < n1; ++i) {
-    float* row = s->msg_pre.Row(i);
-    const float* bias = b1_.w.data();
-    for (size_t j = 0; j < h; ++j) {
-      const float v = row[j] + bias[j];
-      row[j] = v > 0.0f ? v : 0.0f;
-    }
-  }
+  // Bias add + ReLU ride the GEMM tile store (fused epilogue): one pass
+  // over each activation matrix instead of three. The scalar backend
+  // computes the identical arithmetic to the historical separate passes.
+  MatMulBiasActRange(s->cat1, w1_.w, &s->msg_pre, n0, n1, b1_.w.data(),
+                     /*relu=*/true);
 
   for (size_t bi = r0; bi < r1; ++bi) {
     float wsum = 0.0f;
@@ -161,30 +155,16 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
   }
 
   // --- self branch ---------------------------------------------------------
-  MatMulRange(input.node_feats, w2_.w, &s->self_pre, r0, r1);
-  for (size_t bi = r0; bi < r1; ++bi) {
-    float* row = s->self_pre.Row(bi);
-    const float* bias = b2_.w.data();
-    for (size_t j = 0; j < h; ++j) {
-      const float v = row[j] + bias[j];
-      row[j] = v > 0.0f ? v : 0.0f;
-    }
-  }
+  MatMulBiasActRange(input.node_feats, w2_.w, &s->self_pre, r0, r1,
+                     b2_.w.data(), /*relu=*/true);
 
   // --- head ----------------------------------------------------------------
   for (size_t bi = r0; bi < r1; ++bi) {
     std::memcpy(s->cat2.Row(bi), s->agg.Row(bi), h * sizeof(float));
     std::memcpy(s->cat2.Row(bi) + h, s->self_pre.Row(bi), h * sizeof(float));
   }
-  MatMulRange(s->cat2, w3_.w, &s->h_pre, r0, r1);
-  for (size_t bi = r0; bi < r1; ++bi) {
-    float* row = s->h_pre.Row(bi);
-    const float* bias = b3_.w.data();
-    for (size_t j = 0; j < h; ++j) {
-      const float v = row[j] + bias[j];
-      row[j] = v > 0.0f ? v : 0.0f;
-    }
-  }
+  MatMulBiasActRange(s->cat2, w3_.w, &s->h_pre, r0, r1, b3_.w.data(),
+                     /*relu=*/true);
 
   if (drop_rng != nullptr && training_ && opts_.dropout > 0.0f) {
     const float keep = 1.0f - opts_.dropout;
@@ -200,13 +180,8 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
     }
   }
 
-  MatMulRange(s->h_pre, w4_.w, &s->out, r0, r1);
-  const size_t o = opts_.out_dim;
-  for (size_t bi = r0; bi < r1; ++bi) {
-    float* row = s->out.Row(bi);
-    const float* bias = b4_.w.data();
-    for (size_t j = 0; j < o; ++j) row[j] += bias[j];
-  }
+  MatMulBiasActRange(s->h_pre, w4_.w, &s->out, r0, r1, b4_.w.data(),
+                     /*relu=*/false);
 }
 
 void SlimModel::ForwardAll(const SlimBatchInput& input, bool for_training) {
@@ -241,8 +216,8 @@ Matrix SlimModel::Forward(const SlimBatchInput& input) {
   return fwd_.out;
 }
 
-Matrix SlimModel::PredictConst(const SlimBatchInput& input,
-                               SlimForwardScratch* scratch) const {
+const Matrix& SlimModel::PredictConst(const SlimBatchInput& input,
+                                      SlimForwardScratch* scratch) const {
   const size_t b = input.node_feats.rows();
   scratch->Resize(b, opts_.k_recent, opts_.feature_dim, opts_.time_dim,
                   opts_.hidden_dim, opts_.out_dim, /*dropout=*/false);
@@ -286,8 +261,11 @@ void SlimModel::BackwardRange(const SlimBatchInput& input,
   }
   *loss_out += loss;
 
-  // Head.
-  MatMulTransARange(fwd_.h_pre, d_out_, grads.g[6], r0, r1, accumulate);
+  // Head. MatMulTransARange never zeroes (range contract, tensor/matrix.h):
+  // the serial full-range path pre-zeroes the main grads here, the parallel
+  // path accumulates into worker scratch TrainStep already zeroed.
+  if (!accumulate) grads.g[6]->SetZero();
+  MatMulTransARange(fwd_.h_pre, d_out_, grads.g[6], r0, r1);
   ColumnSumsRange(d_out_, grads.g[7]->data(), r0, r1, accumulate);
   MatMulTransBRange(d_out_, w4_.w, &d_h_, r0, r1);
   if (training_ && opts_.dropout > 0.0f) {
@@ -307,7 +285,8 @@ void SlimModel::BackwardRange(const SlimBatchInput& input,
       if (act[j] <= 0.0f) p[j] = 0.0f;
     }
   }
-  MatMulTransARange(fwd_.cat2, d_h_, grads.g[4], r0, r1, accumulate);
+  if (!accumulate) grads.g[4]->SetZero();
+  MatMulTransARange(fwd_.cat2, d_h_, grads.g[4], r0, r1);
   ColumnSumsRange(d_h_, grads.g[5]->data(), r0, r1, accumulate);
   MatMulTransBRange(d_h_, w3_.w, &d_cat2_, r0, r1);
 
@@ -318,8 +297,8 @@ void SlimModel::BackwardRange(const SlimBatchInput& input,
     float* dst = d_self_.Row(bi);
     for (size_t j = 0; j < h; ++j) dst[j] = act[j] > 0.0f ? src[j] : 0.0f;
   }
-  MatMulTransARange(input.node_feats, d_self_, grads.g[2], r0, r1,
-                    accumulate);
+  if (!accumulate) grads.g[2]->SetZero();
+  MatMulTransARange(input.node_feats, d_self_, grads.g[2], r0, r1);
   ColumnSumsRange(d_self_, grads.g[3]->data(), r0, r1, accumulate);
 
   // Neighbor branch: distribute d_agg over messages with their mean
@@ -341,7 +320,8 @@ void SlimModel::BackwardRange(const SlimBatchInput& input,
       }
     }
   }
-  MatMulTransARange(fwd_.cat1, d_msg_, grads.g[0], n0, n1, accumulate);
+  if (!accumulate) grads.g[0]->SetZero();
+  MatMulTransARange(fwd_.cat1, d_msg_, grads.g[0], n0, n1);
   ColumnSumsRange(d_msg_, grads.g[1]->data(), n0, n1, accumulate);
 }
 
@@ -417,20 +397,15 @@ double SlimModel::TrainStep(const SlimBatchInput& input,
 }
 
 void SlimModel::AdamStep(Param* p) {
-  const size_t n = p->w.size();
-  float* w = p->w.data();
-  const float* g = p->grad.data();
-  float* m = p->m.data();
-  float* v = p->v.data();
+  // Params are contiguous (never padded), so the fused kernel runs over the
+  // flat block; the scalar backend is the historical loop verbatim.
+  assert(p->w.IsContiguous());
   const float t = static_cast<float>(adam_t_);
   const float bias1 = 1.0f - std::pow(kAdamBeta1, t);
   const float bias2 = 1.0f - std::pow(kAdamBeta2, t);
   const float step = opts_.lr * std::sqrt(bias2) / bias1;
-  for (size_t i = 0; i < n; ++i) {
-    m[i] = kAdamBeta1 * m[i] + (1.0f - kAdamBeta1) * g[i];
-    v[i] = kAdamBeta2 * v[i] + (1.0f - kAdamBeta2) * g[i] * g[i];
-    w[i] -= step * m[i] / (std::sqrt(v[i]) + kAdamEps);
-  }
+  AdamUpdate(p->w.data(), p->grad.data(), p->m.data(), p->v.data(),
+             p->w.size(), step, kAdamBeta1, kAdamBeta2, kAdamEps);
 }
 
 }  // namespace splash

@@ -14,9 +14,12 @@
 //   out  = h W4 + b4                               class scores
 //
 // Forward() assembles everything in preallocated scratch matrices (they
-// grow once to the largest batch and then stop allocating) and runs on the
-// blocked kernels from tensor/matrix.h. TrainStep() backpropagates by hand
-// and applies Adam — no autograd, no graph, no allocation after warm-up.
+// grow once to the largest batch and then stop allocating; activations use
+// the padded 64B-aligned layout) and runs on the runtime-dispatched
+// kernels from tensor/matrix.h — each bias+ReLU rides its GEMM's tile
+// store as a fused epilogue, and the time encoding runs on the dispatched
+// sincos kernel. TrainStep() backpropagates by hand and applies the fused
+// Adam kernel — no autograd, no graph, no allocation after warm-up.
 //
 // Both are batch-parallel on the runtime/ ThreadPool: the batch is cut
 // into fixed-size row chunks (boundaries depend on the batch size only,
@@ -101,9 +104,11 @@ class SlimModel {
   /// Inference against frozen weights using caller-owned scratch: serial,
   /// dropout-free, and const — safe to call from many reader threads at
   /// once (each with its own scratch) while no writer mutates the model.
-  /// Bit-identical to Forward() in eval mode.
-  Matrix PredictConst(const SlimBatchInput& input,
-                      SlimForwardScratch* scratch) const;
+  /// Bit-identical to Forward() in eval mode. Returns a reference into
+  /// `scratch` (valid until its next use) so steady-state queries stay
+  /// allocation-free — the serving read path's contract.
+  const Matrix& PredictConst(const SlimBatchInput& input,
+                             SlimForwardScratch* scratch) const;
 
   /// Forward + cross-entropy backward + Adam update. labels[b] in
   /// [0, out_dim). Returns the mean batch loss.

@@ -189,12 +189,14 @@ void SplashPredictor::AssembleRows(const std::vector<PropertyQuery>& queries,
   }
 }
 
-Matrix SplashPredictor::PredictBatchConst(
+const Matrix& SplashPredictor::PredictBatchConst(
     const std::vector<PropertyQuery>& queries,
     SplashQueryScratch* scratch) const {
   const size_t b = queries.size();
   if (!slim_ || b == 0) {
-    return Matrix(b, slim_ ? slim_->options().out_dim : 2);
+    scratch->fwd.out.Resize(b, slim_ ? slim_->options().out_dim : 2);
+    scratch->fwd.out.SetZero();
+    return scratch->fwd.out;
   }
   const size_t k = memory_.k();
   SlimBatchInput* batch = &scratch->batch;

@@ -89,9 +89,11 @@ class SplashPredictor : public TemporalPredictor {
   /// forward. Touches no predictor state, so any number of reader threads
   /// may call it concurrently — each with its own scratch — while no
   /// writer mutates the predictor. Bit-identical to PredictBatch in eval
-  /// mode on the same streaming state.
-  Matrix PredictBatchConst(const std::vector<PropertyQuery>& queries,
-                           SplashQueryScratch* scratch) const;
+  /// mode on the same streaming state. Returns a reference into `scratch`
+  /// (valid until its next use): steady-state queries allocate nothing
+  /// (allocation_steady_state_test gates this under the SIMD backend too).
+  const Matrix& PredictBatchConst(const std::vector<PropertyQuery>& queries,
+                                  SplashQueryScratch* scratch) const;
 
   // Const views for the serving layer's drift/quality counters.
   const FeatureAugmenter& augmenter() const { return augmenter_; }

@@ -11,6 +11,15 @@
 # CI re-runs the pinned rows on every push and diffs cpu_time against the
 # committed snapshot via scripts/check_bench_regression.py.
 #
+# Kernel backends (DESIGN.md §6): the committed snapshot is pinned to
+# SPLASH_KERNEL=scalar so the regression history stays comparable across
+# hosts and PRs (the scalar backend is the reference codegen). When the
+# host supports the AVX2/FMA backend, a second filtered run records the
+# avx2 cpu_times for the pinned kernel rows and embeds them (plus the
+# speedup ratios) side-by-side in the JSON context — the perf trajectory of
+# the SIMD layer without forking the baseline. The binary itself stamps
+# kernel_backend + cpu_features into the context.
+#
 # Usage: scripts/bench.sh [build-dir]   (default: build-bench)
 
 set -euo pipefail
@@ -39,7 +48,9 @@ if ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
   git_dirty=1
 fi
 splash_threads="${SPLASH_THREADS:-1}"
-SPLASH_THREADS="${splash_threads}" "${build_dir}/bench_micro_substrate" \
+splash_kernel="${SPLASH_KERNEL:-scalar}"
+SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL="${splash_kernel}" \
+  "${build_dir}/bench_micro_substrate" \
   --benchmark_format=json \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true \
@@ -49,15 +60,61 @@ SPLASH_THREADS="${splash_threads}" "${build_dir}/bench_micro_substrate" \
   --benchmark_context=git_dirty="${git_dirty}" \
   > "${repo_root}/BENCH_micro.json"
 
-# Sanity: the thread-sweep row pairs must be present, or the scaling gate
-# has silently vanished from the snapshot.
+# Side-by-side AVX2 capture: when the snapshot above is the scalar baseline
+# and the host can run the avx2 backend, rerun the pinned kernel rows under
+# SPLASH_KERNEL=avx2 and fold their cpu_times + speedups into the context.
+avx2_json="${build_dir}/bench_avx2_side.json"
+if [ "${splash_kernel}" = scalar ]; then
+  SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL=avx2 \
+    "${build_dir}/bench_micro_substrate" \
+    --benchmark_filter='BM_MatMul/|BM_MatMulTransA/|BM_MatMulTransB/|BM_SlimForwardFused/|BM_SlimTrainStepThreads/1' \
+    --benchmark_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    > "${avx2_json}" 2>/dev/null || true
+  python3 - "${repo_root}/BENCH_micro.json" "${avx2_json}" <<'EOF'
+import json, sys
+base_path, avx2_path = sys.argv[1], sys.argv[2]
+try:
+    with open(avx2_path) as f:
+        avx2 = json.load(f)
+except (OSError, ValueError):
+    sys.exit(0)
+if avx2.get("context", {}).get("kernel_backend") != "avx2":
+    sys.exit(0)  # dispatcher fell back: host cannot run the avx2 backend
+with open(base_path) as f:
+    base = json.load(f)
+def means(doc):
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("aggregate_name") == "mean":
+            out[row.get("run_name", "")] = row.get("cpu_time", 0.0)
+    return out
+b, a = means(base), means(avx2)
+ctx = base.setdefault("context", {})
+for name, t in sorted(a.items()):
+    ctx["avx2_cpu_ns %s" % name] = "%.1f" % t
+    if name in b and t > 0:
+        ctx["avx2_speedup %s" % name] = "%.2f" % (b[name] / t)
+with open(base_path, "w") as f:
+    json.dump(base, f, indent=1)
+    f.write("\n")
+EOF
+fi
+
+# Sanity: the thread-sweep row pairs and the pinned kernel rows must be
+# present, or a gate has silently vanished from the snapshot.
 for row in "BM_SlimTrainStepThreads/1" "BM_SlimTrainStepThreads/4" \
            "BM_ChronoReplayThreads/1" "BM_ChronoReplayThreads/4" \
-           "BM_FeatureReplayBulkThreads/1" "BM_FeatureReplayBulkThreads/4"; do
+           "BM_FeatureReplayBulkThreads/1" "BM_FeatureReplayBulkThreads/4" \
+           "BM_MatMul/256/48/64" "BM_MatMul/2560/48/64" \
+           "BM_MatMulTransA/256/128/64" "BM_MatMulTransB/256/64/128" \
+           "BM_SlimForwardFused/256"; do
   if ! grep -q "\"${row}" "${repo_root}/BENCH_micro.json"; then
     echo "ERROR: ${row} missing from BENCH_micro.json" >&2
     exit 1
   fi
 done
 
-echo "wrote ${repo_root}/BENCH_micro.json (incl. threads=1 vs N row pairs)"
+echo "wrote ${repo_root}/BENCH_micro.json (kernel_backend=${splash_kernel}," \
+     "incl. threads=1 vs N pairs and the avx2 side-run context when available)"

@@ -17,6 +17,12 @@ Rows are matched by run_name, so both raw runs and aggregates-only runs
 pinned row missing from either file fails the gate — a silently vanished
 row is a vanished gate.
 
+Comparisons are like-for-like per kernel backend: when both files carry a
+`kernel_backend` context entry (bench_micro_substrate stamps it), a
+mismatch fails immediately — scalar baselines must never be diffed against
+avx2 runs or vice versa (CI pins SPLASH_KERNEL=scalar for the gate; the
+avx2 trajectory lives in the baseline's avx2_* context keys instead).
+
 --self-test exercises the comparator against fabricated data derived from
 the baseline: an identical copy must pass, and a copy with one pinned row
 hand-slowed by 30% must fail. CI runs it before the real comparison so the
@@ -31,16 +37,20 @@ import sys
 # One row per hot-path family: the O(1)-per-edge ring write (the
 # cache-resident 1k-node arg — the larger args measure the host's DRAM
 # latency more than the code), the SLIM train step, the full chronological
-# replay, and the augmenter bulk replay. The last row matters because with
-# pipeline_depth >= 1 the replay bench runs ingest on the PipelineThread,
-# outside BM_ChronoReplayThreads' main-thread cpu_time — the dedicated
-# row times ObserveBulk on the measuring thread, so ingest regressions
-# cannot hide behind the pipeline.
+# replay, and the augmenter bulk replay. The FeatureReplayBulk row matters
+# because with pipeline_depth >= 1 the replay bench runs ingest on the
+# PipelineThread, outside BM_ChronoReplayThreads' main-thread cpu_time —
+# the dedicated row times ObserveBulk on the measuring thread, so ingest
+# regressions cannot hide behind the pipeline. The last two rows pin the
+# kernel layer itself (DESIGN.md §6): the neighbor-message GEMM shape and
+# the fused const-forward path the serving layer reads through.
 DEFAULT_ROWS = [
     "BM_NeighborMemoryObserve/1000",
     "BM_SlimTrainStepThreads/1",
     "BM_ChronoReplayThreads/1",
     "BM_FeatureReplayBulkThreads/1",
+    "BM_MatMul/256/48/64",
+    "BM_SlimForwardFused/256",
 ]
 
 # The serving-layer gate (--preset serve): BENCH_serve.json's pinned
@@ -85,6 +95,14 @@ def compare(baseline, current, rows, max_regress, calibrate=None):
     comparable on another and the threshold measures the *relative* cost of
     the pinned op, not the CPU lottery of heterogeneous runners.
     """
+    base_backend = str(baseline.get("context", {}).get("kernel_backend", ""))
+    cur_backend = str(current.get("context", {}).get("kernel_backend", ""))
+    if base_backend and cur_backend and base_backend != cur_backend:
+        return False, [
+            "kernel backend mismatch: baseline=%s current=%s — comparisons "
+            "are like-for-like only (pin SPLASH_KERNEL): FAIL" %
+            (base_backend, cur_backend)
+        ]
     base = load_cpu_times(baseline)
     cur = load_cpu_times(current)
     ok = True

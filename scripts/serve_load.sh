@@ -29,13 +29,57 @@ if ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
   git_dirty=1
 fi
 
+# Pinned to the scalar kernel backend for the same like-for-like reason as
+# bench.sh: CI re-runs the smoke row with SPLASH_KERNEL=scalar.
 splash_threads="${SPLASH_THREADS:-1}"
-SPLASH_THREADS="${splash_threads}" "${build_dir}/bench_serve_load" \
+splash_kernel="${SPLASH_KERNEL:-scalar}"
+SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL="${splash_kernel}" \
+  "${build_dir}/bench_serve_load" \
   --json "${repo_root}/BENCH_serve.json" \
   --context host_cores="$(nproc)" \
   --context splash_threads="${splash_threads}" \
+  --context kernel_backend="${splash_kernel}" \
   --context git_sha="${git_sha}" \
   --context git_dirty="${git_dirty}"
+
+# Side-by-side AVX2 capture (mirrors scripts/bench.sh): when the snapshot
+# above is the scalar baseline, rerun the pinned smoke row under
+# SPLASH_KERNEL=avx2 and fold its cpu_time + speedup into the context —
+# the committed artifact for the SIMD layer's effect on the serve path.
+avx2_json="${build_dir}/serve_avx2_side.json"
+if [ "${splash_kernel}" = scalar ]; then
+  SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL=avx2 \
+    "${build_dir}/bench_serve_load" --smoke \
+    --json "${avx2_json}" \
+    --context kernel_backend=avx2 2>/dev/null || true
+  python3 - "${repo_root}/BENCH_serve.json" "${avx2_json}" <<'EOF'
+import json, sys
+base_path, avx2_path = sys.argv[1], sys.argv[2]
+try:
+    with open(avx2_path) as f:
+        avx2 = json.load(f)
+except (OSError, ValueError):
+    sys.exit(0)
+def cpu(doc, name):
+    for row in doc.get("benchmarks", []):
+        if row.get("name") == name:
+            return row.get("cpu_time", 0.0)
+    return 0.0
+t = cpu(avx2, "BM_ServeSmokeMixed")
+if t <= 0:
+    sys.exit(0)
+with open(base_path) as f:
+    base = json.load(f)
+b = cpu(base, "BM_ServeSmokeMixed")
+ctx = base.setdefault("context", {})
+ctx["avx2_cpu_ns BM_ServeSmokeMixed"] = "%.1f" % t
+if b > 0:
+    ctx["avx2_speedup BM_ServeSmokeMixed"] = "%.2f" % (b / t)
+with open(base_path, "w") as f:
+    json.dump(base, f, indent=1)
+    f.write("\n")
+EOF
+fi
 
 # Sanity: the gate rows must be present, or the serve regression gate has
 # silently vanished from the snapshot.

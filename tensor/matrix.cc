@@ -1,27 +1,25 @@
 // Copyright 2026 The SPLASH Reproduction Authors.
 //
-// Blocked dense kernels. The register-blocking constants were chosen for
-// the common shapes in this repo: tall-skinny activations (batch x ~32-128)
-// against small square-ish weight panels. Everything stays in L1/L2 for
-// those shapes; the blocking mostly buys locality at the larger batch*k
-// gather matrices.
+// Parallel entry points for the dense kernels: partition output rows on
+// the global ThreadPool when the flop count clears the gate, then hand
+// each range to the runtime-selected backend (tensor/simd.h). The serial
+// kernel bodies themselves live in tensor/kernels_{scalar,avx2}.cc;
+// per-element accumulation order never depends on the partition, so for a
+// fixed backend parallel results are bit-identical to serial ones.
 
 #include "tensor/matrix.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "runtime/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace splash {
 
 namespace {
-
-// Panel sizes: kBlockK * kBlockJ floats of `b` (64KiB at 128x128) stay hot
-// while a stripe of `a` streams through.
-constexpr size_t kBlockK = 128;
-constexpr size_t kBlockJ = 128;
 
 // Parallel dispatch gate: GEMMs below this many flops (2*m*k*n) run serial
 // — the ParallelFor wake/join costs a few microseconds, so tiny kernels
@@ -52,124 +50,44 @@ bool ParallelRows(size_t rows, size_t flops, const Fn& fn) {
 
 void MatMulRange(const Matrix& a, const Matrix& b, Matrix* c,
                  size_t row_begin, size_t row_end, bool accumulate) {
-  const size_t k = a.cols(), n = b.cols();
-  assert(b.rows() == k);
-  assert(c->rows() == a.rows() && c->cols() == n);
-  assert(row_begin <= row_end && row_end <= a.rows());
-  if (!accumulate && row_end > row_begin) {
-    std::memset(c->Row(row_begin), 0,
-                (row_end - row_begin) * n * sizeof(float));
-  }
-  for (size_t j0 = 0; j0 < n; j0 += kBlockJ) {
-    const size_t j1 = std::min(n, j0 + kBlockJ);
-    for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const size_t k1 = std::min(k, k0 + kBlockK);
-      for (size_t i = row_begin; i < row_end; ++i) {
-        const float* arow = a.Row(i);
-        float* crow = c->Row(i);
-        for (size_t kk = k0; kk < k1; ++kk) {
-          const float av = arow[kk];
-          if (av == 0.0f) continue;  // masked/sparse rows are common
-          const float* brow = b.Row(kk);
-          // Unit-stride FMA over the output row: auto-vectorizes.
-          for (size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
+  Kernels().matmul_range(a, b, c, row_begin, row_end, accumulate);
 }
 
 void MatMul(const Matrix& a, const Matrix& b, Matrix* c, bool accumulate) {
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const KernelTable& kt = Kernels();
   if (!ParallelRows(m, 2 * m * k * n, [&](size_t r0, size_t r1) {
-        MatMulRange(a, b, c, r0, r1, accumulate);
+        kt.matmul_range(a, b, c, r0, r1, accumulate);
       })) {
-    MatMulRange(a, b, c, 0, m, accumulate);
+    kt.matmul_range(a, b, c, 0, m, accumulate);
   }
+}
+
+void MatMulBiasActRange(const Matrix& a, const Matrix& b, Matrix* c,
+                        size_t row_begin, size_t row_end, const float* bias,
+                        bool relu) {
+  Kernels().matmul_bias_act_range(a, b, c, row_begin, row_end, bias, relu);
 }
 
 void MatMulTransBRange(const Matrix& a, const Matrix& b, Matrix* c,
                        size_t row_begin, size_t row_end, bool accumulate) {
-  const size_t k = a.cols(), n = b.rows();
-  assert(b.cols() == k);
-  assert(c->rows() == a.rows() && c->cols() == n);
-  assert(row_begin <= row_end && row_end <= a.rows());
-  // Dot-product form: both operands are read with unit stride.
-  for (size_t i = row_begin; i < row_end; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c->Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      size_t kk = 0;
-      for (; kk + 4 <= k; kk += 4) {
-        acc0 += arow[kk] * brow[kk];
-        acc1 += arow[kk + 1] * brow[kk + 1];
-        acc2 += arow[kk + 2] * brow[kk + 2];
-        acc3 += arow[kk + 3] * brow[kk + 3];
-      }
-      float acc = (acc0 + acc1) + (acc2 + acc3);
-      for (; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = accumulate ? crow[j] + acc : acc;
-    }
-  }
+  Kernels().matmul_transb_range(a, b, c, row_begin, row_end, accumulate);
 }
 
 void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* c,
                   bool accumulate) {
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  const KernelTable& kt = Kernels();
   if (!ParallelRows(m, 2 * m * k * n, [&](size_t r0, size_t r1) {
-        MatMulTransBRange(a, b, c, r0, r1, accumulate);
+        kt.matmul_transb_range(a, b, c, r0, r1, accumulate);
       })) {
-    MatMulTransBRange(a, b, c, 0, m, accumulate);
+    kt.matmul_transb_range(a, b, c, 0, m, accumulate);
   }
 }
-
-namespace {
-
-/// MatMulTransA restricted to *output* rows [i_begin, i_end) over the full
-/// reduction: the parallel-dispatch partition (disjoint writes). Each
-/// output element still accumulates over rr in ascending order, so the
-/// result is bit-identical to the serial kernel.
-void MatMulTransAOutputRange(const Matrix& a, const Matrix& b, Matrix* c,
-                             size_t i_begin, size_t i_end, bool accumulate) {
-  const size_t r = a.rows(), n = b.cols();
-  if (!accumulate && i_end > i_begin) {
-    std::memset(c->Row(i_begin), 0, (i_end - i_begin) * n * sizeof(float));
-  }
-  for (size_t rr = 0; rr < r; ++rr) {
-    const float* arow = a.Row(rr);
-    const float* brow = b.Row(rr);
-    for (size_t i = i_begin; i < i_end; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c->Row(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
 
 void MatMulTransARange(const Matrix& a, const Matrix& b, Matrix* c,
-                       size_t r_begin, size_t r_end, bool accumulate) {
-  const size_t m = a.cols(), n = b.cols();
-  assert(b.rows() == a.rows());
-  assert(c->rows() == m && c->cols() == n);
-  assert(r_begin <= r_end && r_end <= a.rows());
-  if (!accumulate) std::memset(c->data(), 0, m * n * sizeof(float));
-  // Rank-1 update per input row: c[i, :] += a(rr, i) * b(rr, :). The inner
-  // loop is again a unit-stride FMA over an output row.
-  for (size_t rr = r_begin; rr < r_end; ++rr) {
-    const float* arow = a.Row(rr);
-    const float* brow = b.Row(rr);
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c->Row(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+                       size_t r_begin, size_t r_end) {
+  Kernels().matmul_transa_range(a, b, c, r_begin, r_end);
 }
 
 void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* c,
@@ -177,29 +95,27 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* c,
   const size_t r = a.rows(), m = a.cols(), n = b.cols();
   assert(b.rows() == r);
   assert(c->rows() == m && c->cols() == n);
+  const KernelTable& kt = Kernels();
   if (!ParallelRows(m, 2 * r * m * n, [&](size_t i0, size_t i1) {
-        MatMulTransAOutputRange(a, b, c, i0, i1, accumulate);
+        kt.matmul_transa_output_range(a, b, c, i0, i1, accumulate);
       })) {
-    MatMulTransARange(a, b, c, 0, r, accumulate);
+    if (!accumulate) {
+      for (size_t i = 0; i < m; ++i) {
+        std::memset(c->Row(i), 0, n * sizeof(float));
+      }
+    }
+    kt.matmul_transa_range(a, b, c, 0, r);
   }
 }
 
 void AddRowVector(Matrix* m, const float* bias) {
-  const size_t rows = m->rows(), cols = m->cols();
-  for (size_t i = 0; i < rows; ++i) {
-    float* row = m->Row(i);
-    for (size_t j = 0; j < cols; ++j) row[j] += bias[j];
-  }
+  Kernels().add_row_vector(m, bias);
 }
 
-void ReluInPlace(Matrix* m) {
-  float* p = m->data();
-  const size_t n = m->size();
-  for (size_t i = 0; i < n; ++i) p[i] = p[i] > 0.0f ? p[i] : 0.0f;
-}
+void ReluInPlace(Matrix* m) { Kernels().relu_inplace(m); }
 
 void Axpy(float alpha, const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  Kernels().axpy(alpha, x, y, n);
 }
 
 void ColumnSums(const Matrix& m, float* out) {
@@ -208,12 +124,16 @@ void ColumnSums(const Matrix& m, float* out) {
 
 void ColumnSumsRange(const Matrix& m, float* out, size_t row_begin,
                      size_t row_end, bool accumulate) {
-  const size_t cols = m.cols();
-  if (!accumulate) std::memset(out, 0, cols * sizeof(float));
-  for (size_t i = row_begin; i < row_end; ++i) {
-    const float* row = m.Row(i);
-    for (size_t j = 0; j < cols; ++j) out[j] += row[j];
-  }
+  Kernels().column_sums_range(m, out, row_begin, row_end, accumulate);
+}
+
+void AdamUpdate(float* w, const float* g, float* m, float* v, size_t n,
+                float step, float beta1, float beta2, float eps) {
+  Kernels().adam_update(w, g, m, v, n, step, beta1, beta2, eps);
+}
+
+void SincosEncode(float x, float freq_decay, float* out, size_t dim) {
+  Kernels().sincos_encode(x, freq_decay, out, dim);
 }
 
 bool SolveRidge(const Matrix& x, const Matrix& y, float lambda, Matrix* w) {

@@ -1,0 +1,101 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Backend resolution for the kernel table (DESIGN.md §6): one atomic
+// pointer, resolved from SPLASH_KERNEL + cpuid on first use. The resolution
+// logic itself is a pure function so tests can pin every (env, cpu) cell.
+
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace splash {
+
+namespace {
+
+std::atomic<const KernelTable*> g_kernels{nullptr};
+
+const KernelTable* TableByName(const char* name) {
+  if (std::strcmp(name, "avx2") == 0) return GetAvx2Kernels();
+  return GetScalarKernels();
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2Fma() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+std::string CpuFeatureString() {
+  std::string s;
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) s += "avx2";
+  if (__builtin_cpu_supports("fma")) s += s.empty() ? "fma" : "+fma";
+  if (__builtin_cpu_supports("avx512f")) s += "+avx512f";
+#endif
+  if (s.empty()) s = "baseline";
+  return s;
+}
+
+const char* ResolveKernelChoice(const char* env, bool cpu_has_avx2,
+                                bool avx2_compiled) {
+  const bool avx2_ok = cpu_has_avx2 && avx2_compiled;
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
+    return avx2_ok ? "avx2" : "scalar";
+  }
+  if (std::strcmp(env, "scalar") == 0) return "scalar";
+  if (std::strcmp(env, "avx2") == 0) {
+    if (avx2_ok) return "avx2";
+    std::fprintf(stderr,
+                 "splash: SPLASH_KERNEL=avx2 but %s; falling back to the "
+                 "scalar backend\n",
+                 avx2_compiled ? "this CPU lacks AVX2/FMA"
+                               : "the AVX2 backend was not compiled in");
+    return "scalar";
+  }
+  std::fprintf(stderr,
+               "splash: unknown SPLASH_KERNEL value '%s' (want scalar, "
+               "avx2, or auto); using auto\n",
+               env);
+  return avx2_ok ? "avx2" : "scalar";
+}
+
+const KernelTable& Kernels() {
+  const KernelTable* t = g_kernels.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // Benign race: concurrent first callers resolve to the same table.
+    t = TableByName(ResolveKernelChoice(std::getenv("SPLASH_KERNEL"),
+                                        CpuSupportsAvx2Fma(),
+                                        GetAvx2Kernels() != nullptr));
+    g_kernels.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+const char* KernelBackendName() { return Kernels().name; }
+
+bool SetKernelBackendForTesting(const char* name) {
+  const KernelTable* t;
+  if (name == nullptr || std::strcmp(name, "auto") == 0) {
+    t = TableByName(ResolveKernelChoice(std::getenv("SPLASH_KERNEL"),
+                                        CpuSupportsAvx2Fma(),
+                                        GetAvx2Kernels() != nullptr));
+  } else if (std::strcmp(name, "scalar") == 0) {
+    t = GetScalarKernels();
+  } else if (std::strcmp(name, "avx2") == 0) {
+    t = GetAvx2Kernels();
+    if (t == nullptr || !CpuSupportsAvx2Fma()) return false;
+  } else {
+    return false;
+  }
+  g_kernels.store(t, std::memory_order_release);
+  return true;
+}
+
+}  // namespace splash

@@ -1,0 +1,118 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Runtime-dispatched SIMD kernel backend (DESIGN.md §6). Every dense hot
+// path in the repo (core/slim.cc forward/backward/Adam, SolveRidge gram
+// products, the serve/ query path) flows through one kernel table resolved
+// ONCE per process:
+//
+//   1. SPLASH_KERNEL=scalar  -> the scalar reference backend (the former
+//                               tensor/matrix.cc loops, verbatim): the
+//                               bit-exact determinism anchor.
+//   2. SPLASH_KERNEL=avx2    -> AVX2/FMA micro-kernels (register-tiled
+//                               GEMMs, masked tails); falls back to scalar
+//                               with a stderr warning if cpuid says no.
+//   3. SPLASH_KERNEL=auto    -> (default) avx2 when the CPU supports
+//                               AVX2+FMA and the backend was compiled in,
+//                               scalar otherwise.
+//
+// Backends are tolerance-equivalent, not bit-equal: SIMD kernels reorder
+// the per-element accumulation (8-lane partial sums), so determinism tests
+// and committed oracles always pin SPLASH_KERNEL=scalar. Within ONE
+// backend, results are bit-identical across thread counts — the parallel
+// wrappers in tensor/matrix.cc partition output rows without changing any
+// per-element accumulation order.
+//
+// All kernels are stride-aware (operands may carry a padded leading
+// dimension, Matrix::ResizePadded) and never read or write a row outside
+// its [0, cols) payload — padding lanes are dead storage.
+
+#ifndef SPLASH_TENSOR_SIMD_H_
+#define SPLASH_TENSOR_SIMD_H_
+
+#include <cstddef>
+#include <string>
+
+namespace splash {
+
+class Matrix;
+
+/// The per-backend serial kernel set. The parallel entry points in
+/// tensor/matrix.h partition work and call these on row ranges.
+struct KernelTable {
+  const char* name;  // "scalar" | "avx2"
+
+  /// c rows [r0, r1) = a * b (+ c if accumulate). a MxK, b KxN, c MxN.
+  void (*matmul_range)(const Matrix& a, const Matrix& b, Matrix* c,
+                       size_t r0, size_t r1, bool accumulate);
+  /// Fused epilogue: c rows [r0, r1) = act(a * b + bias); bias nullable
+  /// (b.cols() entries), act = ReLU when relu.
+  void (*matmul_bias_act_range)(const Matrix& a, const Matrix& b, Matrix* c,
+                                size_t r0, size_t r1, const float* bias,
+                                bool relu);
+  /// c rows [r0, r1) = a * b^T (+ c if accumulate). a MxK, b NxK, c MxN.
+  void (*matmul_transb_range)(const Matrix& a, const Matrix& b, Matrix* c,
+                              size_t r0, size_t r1, bool accumulate);
+  /// c += a[r0:r1)^T * b[r0:r1) — reduction-row range, never zeroes c
+  /// (callers pre-zero; see MatMulTransARange in tensor/matrix.h).
+  void (*matmul_transa_range)(const Matrix& a, const Matrix& b, Matrix* c,
+                              size_t r0, size_t r1);
+  /// Output-row partition of a^T b over the FULL reduction: c rows
+  /// [i0, i1) (+ c if accumulate); used by the parallel wrapper so worker
+  /// writes stay disjoint. Accumulates over reduction rows in ascending
+  /// order — bit-identical to matmul_transa_range on the same backend.
+  void (*matmul_transa_output_range)(const Matrix& a, const Matrix& b,
+                                     Matrix* c, size_t i0, size_t i1,
+                                     bool accumulate);
+  void (*add_row_vector)(Matrix* m, const float* bias);
+  void (*relu_inplace)(Matrix* m);
+  void (*axpy)(float alpha, const float* x, float* y, size_t n);
+  void (*column_sums_range)(const Matrix& m, float* out, size_t r0,
+                            size_t r1, bool accumulate);
+  /// Fused Adam over a flat block; `step` is the bias-corrected lr.
+  void (*adam_update)(float* w, const float* g, float* m, float* v,
+                      size_t n, float step, float beta1, float beta2,
+                      float eps);
+  /// Sinusoidal pair encoding of a scalar at geometrically spaced
+  /// frequencies — the degree/time feature encoders, the per-query hot
+  /// loop of the serve read path:
+  ///   f_0 = 1, f_{p+1} = f_p * freq_decay
+  ///   out[2p] = sin(x * f_p), out[2p+1] = cos(x * f_p)  for 2p+1 < dim
+  ///   out[dim-1] = 0.1 * x                              when dim is odd
+  /// Scalar uses libm (the bit-exact reference); avx2 uses an 8-lane
+  /// Cody-Waite + minimax polynomial sincos (~1e-7 absolute error).
+  void (*sincos_encode)(float x, float freq_decay, float* out, size_t dim);
+};
+
+/// The active kernel table, resolved once (env knob + cpuid) on first use.
+const KernelTable& Kernels();
+
+/// Name of the active backend ("scalar" or "avx2").
+const char* KernelBackendName();
+
+/// True when this CPU can run the AVX2/FMA backend.
+bool CpuSupportsAvx2Fma();
+
+/// Human-readable cpuid feature summary ("avx2+fma" / "baseline"), recorded
+/// in bench JSON context so snapshots are attributable to the host ISA.
+std::string CpuFeatureString();
+
+/// Pure resolution logic, exposed for tests: maps the SPLASH_KERNEL value
+/// (null = unset) and the cpuid/compile facts to a backend name.
+const char* ResolveKernelChoice(const char* env, bool cpu_has_avx2,
+                                bool avx2_compiled);
+
+/// Forces a backend for tests/benches ("scalar", "avx2", or "auto" to
+/// re-resolve from the environment). Returns false (and leaves the active
+/// table unchanged) if the requested backend is unavailable. Not
+/// thread-safe against concurrent kernel calls — call it only from test
+/// set-up, before spawning workers.
+bool SetKernelBackendForTesting(const char* name);
+
+/// Backend tables (internal): scalar always exists; avx2 is null when the
+/// TU was compiled without AVX2 support (non-x86 target).
+const KernelTable* GetScalarKernels();
+const KernelTable* GetAvx2Kernels();
+
+}  // namespace splash
+
+#endif  // SPLASH_TENSOR_SIMD_H_

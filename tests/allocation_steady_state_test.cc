@@ -16,10 +16,15 @@
 
 #include "core/feature_augmentation.h"
 #include "core/slim.h"
+#include "core/splash.h"
+#include "datasets/scalability.h"
+#include "eval/trainer.h"
+#include "graph/edge_stream.h"
 #include "graph/neighbor_memory.h"
 #include "runtime/pipeline.h"
 #include "runtime/thread_pool.h"
 #include "tensor/rng.h"
+#include "tensor/simd.h"
 
 namespace {
 
@@ -156,6 +161,61 @@ TEST(AllocationSteadyStateTest, FeatureAugmenterObserveBulkIsAllocationFree) {
       [&] { augmenter.ObserveBulk(stream, 0, stream.size()); });
   EXPECT_EQ(allocs, 0u);
   ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(AllocationSteadyStateTest, SlimAndServePathsAllocationFreeUnderAvx2) {
+  // The aligned/padded scratch introduced by the SIMD backend must stay
+  // grow-only under the avx2 kernels too: Observe, TrainStep, and the
+  // serve read path (PredictBatchConst with per-client scratch) perform
+  // zero heap allocations at steady state.
+  if (!SetKernelBackendForTesting("avx2")) {
+    GTEST_SKIP() << "no AVX2/FMA backend on this host";
+  }
+  ThreadPool::SetGlobalThreads(4);
+
+  ScalabilityOptions sopts;
+  sopts.num_edges = 4000;
+  sopts.num_nodes = 512;
+  const Dataset ds = GenerateScalabilityStream(sopts);
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.1, 0.1);
+  SplashOptions opts;
+  opts.mode = SplashMode::kForceStructural;
+  opts.augment.feature_dim = 16;
+  opts.slim.hidden_dim = 32;
+  opts.slim.time_dim = 8;
+  opts.slim.dropout = 0.1f;
+  SplashPredictor model(opts);
+  ASSERT_TRUE(model.Prepare(ds, split).ok());
+  model.SetTraining(true);
+  model.ObserveBulk(ds.stream, 0, ds.stream.size() / 2);
+
+  std::vector<PropertyQuery> queries(64);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries[i].node = static_cast<NodeId>(i * 7 % sopts.num_nodes);
+    queries[i].time = ds.stream.time_data()[ds.stream.size() / 2 - 1] + 1.0;
+    queries[i].class_label = static_cast<int>(i % 2);
+  }
+
+  // Warm-up grows every scratch: train path, const query path, ingest.
+  model.TrainBatch(queries);
+  SplashQueryScratch scratch;
+  (void)model.PredictBatchConst(queries, &scratch);
+  (void)model.PredictBatchConst(queries, &scratch);
+  model.TrainBatch(queries);
+
+  const size_t mid = ds.stream.size() / 2;
+  const size_t allocs = CountAllocations([&] {
+    for (int rep = 0; rep < 5; ++rep) {
+      model.TrainBatch(queries);
+      (void)model.PredictBatchConst(queries, &scratch);
+    }
+    for (size_t i = mid; i < ds.stream.size(); ++i) {
+      model.ObserveEdge(ds.stream[i], i);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  ThreadPool::SetGlobalThreads(1);
+  ASSERT_TRUE(SetKernelBackendForTesting("auto"));
 }
 
 TEST(AllocationSteadyStateTest, PipelineThreadSubmitWaitIsAllocationFree) {

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "tensor/rng.h"
 
@@ -121,6 +123,120 @@ TEST(MatrixTest, ResizeIsGrowOnlyStorage) {
   m.Resize(2, 2);  // back within capacity: data still intact
   EXPECT_EQ(m.data(), before);
   EXPECT_FLOAT_EQ(m(1, 1), 7.0f);
+}
+
+TEST(MatrixTest, AllocationsAre64ByteAligned) {
+  // Every backing store is 64B-aligned, contiguous or padded — the SIMD
+  // backends' aligned-row guarantee starts here.
+  for (size_t cols : {1, 2, 7, 16, 48, 130}) {
+    Matrix m(5, cols);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.data()) % 64, 0u)
+        << "cols=" << cols;
+  }
+}
+
+TEST(MatrixTest, PaddedResizeAlignsEveryRow) {
+  for (size_t cols : {1, 2, 7, 15, 16, 17, 48, 130}) {
+    Matrix m;
+    m.ResizePadded(9, cols);
+    EXPECT_GE(m.stride(), m.cols());
+    EXPECT_EQ(m.stride() % Matrix::kPadFloats, 0u) << "cols=" << cols;
+    for (size_t r = 0; r < m.rows(); ++r) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Row(r)) % 64, 0u)
+          << "cols=" << cols << " row=" << r;
+    }
+    // Accessors agree on the padded layout.
+    m(8, cols - 1) = 3.5f;
+    EXPECT_FLOAT_EQ(m.Row(8)[cols - 1], 3.5f);
+    EXPECT_EQ(m.IsContiguous(), m.stride() == m.cols() || m.rows() <= 1);
+  }
+}
+
+TEST(MatrixTest, PaddedKernelsMatchContiguousThroughPublicApi) {
+  // The dispatching entry points accept any operand stride mix and must
+  // produce bit-identical results to the all-contiguous call.
+  Rng rng(9);
+  const size_t m = 23, k = 19, n = 11;
+  const Matrix a = Matrix::Gaussian(m, k, &rng);
+  const Matrix b = Matrix::Gaussian(k, n, &rng);
+  Matrix ap, bp;
+  ap.ResizePadded(m, k);
+  bp.ResizePadded(k, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < k; ++j) ap(i, j) = a(i, j);
+  }
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < n; ++j) bp(i, j) = b(i, j);
+  }
+  Matrix c(m, n), cp;
+  cp.ResizePadded(m, n);
+  MatMul(a, b, &c);
+  MatMul(ap, bp, &cp);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(c(i, j), cp(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(MatrixTest, TransARangeNeverZeroesOutput) {
+  // Range calls accumulate into whatever the caller left in c (the fix for
+  // the old full-output memset that was only correct for full-range
+  // callers); the full MatMulTransA entry point still honors accumulate.
+  Rng rng(10);
+  const Matrix a = Matrix::Gaussian(6, 4, &rng);  // RxM
+  const Matrix b = Matrix::Gaussian(6, 3, &rng);  // RxN
+  Matrix whole(4, 3);
+  MatMulTransA(a, b, &whole);  // accumulate=false: zeroes, then full sum
+
+  // Same product assembled from two reduction sub-ranges over a pre-zeroed
+  // output: bit-identical because per-element order is still ascending rr.
+  Matrix split(4, 3);
+  MatMulTransARange(a, b, &split, 0, 2);
+  MatMulTransARange(a, b, &split, 2, 6);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      ASSERT_EQ(whole(i, j), split(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+
+  // A sub-range call on a dirty output adds to it instead of wiping rows
+  // outside (or inside) the range.
+  Matrix dirty = Matrix::Ones(4, 3);
+  MatMulTransARange(a, b, &dirty, 0, 0);  // empty range: no-op
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) ASSERT_EQ(dirty(i, j), 1.0f);
+  }
+  MatMulTransARange(a, b, &dirty, 0, 6);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      // Accumulating into 1.0 reorders the rounding, so compare to
+      // tolerance rather than bitwise.
+      ASSERT_NEAR(dirty(i, j), whole(i, j) + 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(MatrixTest, AdamUpdateMatchesReferenceFormula) {
+  const size_t n = 21;  // exercises the 8-wide body and a 5-lane tail
+  std::vector<float> w(n), g(n), m(n), v(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 0.5f - 0.01f * static_cast<float>(i);
+    g[i] = 0.02f * static_cast<float>(i) - 0.1f;
+    m[i] = 0.0f;
+    v[i] = 0.0f;
+  }
+  std::vector<float> w_ref = w, m_ref = m, v_ref = v;
+  const float step = 1e-3f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  AdamUpdate(w.data(), g.data(), m.data(), v.data(), n, step, b1, b2, eps);
+  for (size_t i = 0; i < n; ++i) {
+    m_ref[i] = b1 * m_ref[i] + (1.0f - b1) * g[i];
+    v_ref[i] = b2 * v_ref[i] + (1.0f - b2) * g[i] * g[i];
+    w_ref[i] -= step * m_ref[i] / (std::sqrt(v_ref[i]) + eps);
+    EXPECT_NEAR(w[i], w_ref[i], 1e-6f) << "w[" << i << "]";
+    EXPECT_NEAR(m[i], m_ref[i], 1e-7f) << "m[" << i << "]";
+    EXPECT_NEAR(v[i], v_ref[i], 1e-7f) << "v[" << i << "]";
+  }
 }
 
 TEST(MatrixTest, SolveRidgeRecoversLinearMap) {

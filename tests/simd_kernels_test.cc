@@ -1,0 +1,399 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Backend-equivalence suite for the runtime-dispatched kernel layer
+// (DESIGN.md §6): for every kernel in the table and a shape sweep that
+// includes ragged tails, the avx2 backend must match the scalar reference
+// within a 4-ulp relative tolerance (relative to the element's absolute
+// dot mass, so cancellation does not inflate the bound into meaningless
+// territory). Also pins the dispatch-resolution logic, the padded-layout
+// bit-equality (padding must never change arithmetic), and the
+// scalar-backend bit-equality of the fused epilogue vs the three-pass
+// sequence it replaced.
+
+#include "tensor/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace splash {
+namespace {
+
+const size_t kDims[] = {1, 3, 8, 17, 33, 128};
+
+bool HaveAvx2() {
+  return CpuSupportsAvx2Fma() && GetAvx2Kernels() != nullptr;
+}
+
+/// |got - want| <= 4 ulp relative to the element's absolute accumulation
+/// mass: both backends round a reordering of the same |mass|-sized sum, so
+/// their difference is bounded by a few ulp of that mass even when the
+/// signed result cancels to near zero.
+void ExpectUlpClose(float want, float got, double abs_mass,
+                    const char* what, size_t i, size_t j) {
+  const double eps = std::numeric_limits<float>::epsilon();
+  const double tol =
+      4.0 * eps * std::max(abs_mass, static_cast<double>(std::fabs(want)));
+  EXPECT_NEAR(want, got, tol) << what << " at (" << i << "," << j << ")";
+}
+
+struct GemmCase {
+  Matrix a, b, c_scalar, c_avx2;
+  Matrix abs_mass;  // per-element sum of |a||b| terms, the tolerance scale
+};
+
+/// Compares two full output matrices against the per-element mass bound.
+void CompareOutputs(const GemmCase& g, const char* what) {
+  ASSERT_EQ(g.c_scalar.rows(), g.c_avx2.rows());
+  ASSERT_EQ(g.c_scalar.cols(), g.c_avx2.cols());
+  for (size_t i = 0; i < g.c_scalar.rows(); ++i) {
+    for (size_t j = 0; j < g.c_scalar.cols(); ++j) {
+      ExpectUlpClose(g.c_scalar(i, j), g.c_avx2(i, j), g.abs_mass(i, j),
+                     what, i, j);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MatMulScalarVsAvx2AcrossShapeSweep) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  const KernelTable* s = GetScalarKernels();
+  const KernelTable* x = GetAvx2Kernels();
+  Rng rng(101);
+  for (size_t m : kDims) {
+    for (size_t k : kDims) {
+      for (size_t n : kDims) {
+        GemmCase g;
+        g.a = Matrix::Gaussian(m, k, &rng);
+        g.b = Matrix::Gaussian(k, n, &rng);
+        g.c_scalar = Matrix(m, n);
+        g.c_avx2 = Matrix(m, n);
+        g.abs_mass = Matrix(m, n);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            double mass = 0.0;
+            for (size_t kk = 0; kk < k; ++kk) {
+              mass += std::fabs(static_cast<double>(g.a(i, kk)) * g.b(kk, j));
+            }
+            g.abs_mass(i, j) = static_cast<float>(mass);
+          }
+        }
+        s->matmul_range(g.a, g.b, &g.c_scalar, 0, m, false);
+        x->matmul_range(g.a, g.b, &g.c_avx2, 0, m, false);
+        CompareOutputs(g, "MatMul");
+
+        // Accumulate path: both sides start from the same prior.
+        Matrix acc_s = Matrix::Ones(m, n), acc_x = Matrix::Ones(m, n);
+        s->matmul_range(g.a, g.b, &acc_s, 0, m, true);
+        x->matmul_range(g.a, g.b, &acc_x, 0, m, true);
+        g.c_scalar = acc_s;
+        g.c_avx2 = acc_x;
+        CompareOutputs(g, "MatMul+acc");
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MatMulTransBScalarVsAvx2AcrossShapeSweep) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  const KernelTable* s = GetScalarKernels();
+  const KernelTable* x = GetAvx2Kernels();
+  Rng rng(102);
+  for (size_t m : kDims) {
+    for (size_t k : kDims) {
+      for (size_t n : kDims) {
+        GemmCase g;
+        g.a = Matrix::Gaussian(m, k, &rng);
+        g.b = Matrix::Gaussian(n, k, &rng);  // NxK
+        g.c_scalar = Matrix(m, n);
+        g.c_avx2 = Matrix(m, n);
+        g.abs_mass = Matrix(m, n);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            double mass = 0.0;
+            for (size_t kk = 0; kk < k; ++kk) {
+              mass += std::fabs(static_cast<double>(g.a(i, kk)) * g.b(j, kk));
+            }
+            g.abs_mass(i, j) = static_cast<float>(mass);
+          }
+        }
+        s->matmul_transb_range(g.a, g.b, &g.c_scalar, 0, m, false);
+        x->matmul_transb_range(g.a, g.b, &g.c_avx2, 0, m, false);
+        CompareOutputs(g, "MatMulTransB");
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MatMulTransAScalarVsAvx2AcrossShapeSweep) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  const KernelTable* s = GetScalarKernels();
+  const KernelTable* x = GetAvx2Kernels();
+  Rng rng(103);
+  for (size_t r : kDims) {
+    for (size_t m : kDims) {
+      for (size_t n : kDims) {
+        GemmCase g;
+        g.a = Matrix::Gaussian(r, m, &rng);  // RxM
+        g.b = Matrix::Gaussian(r, n, &rng);  // RxN
+        g.c_scalar = Matrix(m, n);           // pre-zeroed (range contract)
+        g.c_avx2 = Matrix(m, n);
+        g.abs_mass = Matrix(m, n);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            double mass = 0.0;
+            for (size_t rr = 0; rr < r; ++rr) {
+              mass += std::fabs(static_cast<double>(g.a(rr, i)) * g.b(rr, j));
+            }
+            g.abs_mass(i, j) = static_cast<float>(mass);
+          }
+        }
+        s->matmul_transa_range(g.a, g.b, &g.c_scalar, 0, r);
+        x->matmul_transa_range(g.a, g.b, &g.c_avx2, 0, r);
+        CompareOutputs(g, "MatMulTransA");
+
+        // Output-partition form must match the serial form bit-exactly
+        // within each backend (the parallel wrapper relies on it).
+        Matrix part(m, n);
+        const size_t mid = m / 2;
+        x->matmul_transa_output_range(g.a, g.b, &part, 0, mid, false);
+        x->matmul_transa_output_range(g.a, g.b, &part, mid, m, false);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            ASSERT_EQ(part(i, j), g.c_avx2(i, j))
+                << "avx2 output-range mismatch at (" << i << "," << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, FusedEpilogueMatchesThreePassScalarBitExact) {
+  // The scalar fused kernel must be bit-equal to GEMM + bias + ReLU run as
+  // separate passes — that is what keeps pre-fusion oracles valid.
+  const KernelTable* s = GetScalarKernels();
+  Rng rng(104);
+  for (size_t m : {3, 17, 64}) {
+    for (size_t n : {1, 5, 48}) {
+      const Matrix a = Matrix::Gaussian(m, 32, &rng);
+      const Matrix b = Matrix::Gaussian(32, n, &rng);
+      std::vector<float> bias(n);
+      for (size_t j = 0; j < n; ++j) bias[j] = 0.1f * static_cast<float>(j);
+
+      Matrix fused(m, n);
+      s->matmul_bias_act_range(a, b, &fused, 0, m, bias.data(), true);
+
+      Matrix ref(m, n);
+      s->matmul_range(a, b, &ref, 0, m, false);
+      s->add_row_vector(&ref, bias.data());
+      s->relu_inplace(&ref);
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(fused(i, j), ref(i, j)) << "(" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, FusedEpilogueScalarVsAvx2) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  const KernelTable* s = GetScalarKernels();
+  const KernelTable* x = GetAvx2Kernels();
+  Rng rng(105);
+  for (size_t m : kDims) {
+    for (size_t n : kDims) {
+      const size_t k = 33;
+      GemmCase g;
+      g.a = Matrix::Gaussian(m, k, &rng);
+      g.b = Matrix::Gaussian(k, n, &rng);
+      std::vector<float> bias(n);
+      for (size_t j = 0; j < n; ++j) {
+        bias[j] = 0.25f * static_cast<float>(rng.Uniform() - 0.5);
+      }
+      g.abs_mass = Matrix(m, n);
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          double mass = std::fabs(static_cast<double>(bias[j]));
+          for (size_t kk = 0; kk < k; ++kk) {
+            mass += std::fabs(static_cast<double>(g.a(i, kk)) * g.b(kk, j));
+          }
+          g.abs_mass(i, j) = static_cast<float>(mass);
+        }
+      }
+      for (bool relu : {false, true}) {
+        g.c_scalar = Matrix(m, n);
+        g.c_avx2 = Matrix(m, n);
+        s->matmul_bias_act_range(g.a, g.b, &g.c_scalar, 0, m, bias.data(),
+                                 relu);
+        x->matmul_bias_act_range(g.a, g.b, &g.c_avx2, 0, m, bias.data(),
+                                 relu);
+        CompareOutputs(g, relu ? "fused+relu" : "fused");
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, VectorKernelsScalarVsAvx2) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  const KernelTable* s = GetScalarKernels();
+  const KernelTable* x = GetAvx2Kernels();
+  Rng rng(106);
+  const double eps = std::numeric_limits<float>::epsilon();
+  for (size_t n : kDims) {
+    // axpy
+    std::vector<float> xs(n), ys(n), yx(n);
+    for (size_t i = 0; i < n; ++i) {
+      xs[i] = static_cast<float>(rng.Uniform() - 0.5);
+      ys[i] = static_cast<float>(rng.Uniform() - 0.5);
+      yx[i] = ys[i];
+    }
+    s->axpy(0.7f, xs.data(), ys.data(), n);
+    x->axpy(0.7f, xs.data(), yx.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ys[i], yx[i], 4.0 * eps * (std::fabs(ys[i]) + 1.0))
+          << "axpy[" << i << "]";
+    }
+
+    // add_row_vector + relu + column sums on an 17 x n matrix
+    Matrix ms = Matrix::Gaussian(17, n, &rng);
+    Matrix mx = ms;
+    std::vector<float> bias(n, -0.05f);
+    s->add_row_vector(&ms, bias.data());
+    x->add_row_vector(&mx, bias.data());
+    s->relu_inplace(&ms);
+    x->relu_inplace(&mx);
+    for (size_t i = 0; i < 17; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(ms(i, j), mx(i, j)) << "rowvec/relu (" << i << "," << j
+                                      << ")";
+      }
+    }
+    std::vector<float> cs(n), cx(n);
+    s->column_sums_range(ms, cs.data(), 2, 15, false);
+    x->column_sums_range(mx, cx.data(), 2, 15, false);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(cs[j], cx[j], 4.0 * eps * (std::fabs(cs[j]) + 13.0))
+          << "colsum[" << j << "]";
+    }
+
+    // adam
+    std::vector<float> w1(n), w2(n), gg(n), m1(n), m2(n), v1(n), v2(n);
+    for (size_t i = 0; i < n; ++i) {
+      w1[i] = w2[i] = static_cast<float>(rng.Uniform() - 0.5);
+      gg[i] = static_cast<float>(rng.Uniform() - 0.5);
+      m1[i] = m2[i] = static_cast<float>(rng.Uniform() - 0.5);
+      v1[i] = v2[i] = static_cast<float>(rng.Uniform());
+    }
+    s->adam_update(w1.data(), gg.data(), m1.data(), v1.data(), n, 1e-3f,
+                   0.9f, 0.999f, 1e-8f);
+    x->adam_update(w2.data(), gg.data(), m2.data(), v2.data(), n, 1e-3f,
+                   0.9f, 0.999f, 1e-8f);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(w1[i], w2[i], 8.0 * eps * (std::fabs(w1[i]) + 1e-3))
+          << "adam w[" << i << "]";
+      EXPECT_NEAR(v1[i], v2[i], 8.0 * eps * (std::fabs(v1[i]) + 1e-6))
+          << "adam v[" << i << "]";
+    }
+  }
+}
+
+TEST(SimdKernelsTest, SincosEncodeScalarVsAvx2) {
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+  const KernelTable* s = GetScalarKernels();
+  const KernelTable* x = GetAvx2Kernels();
+  // x values spanning the log-compressed delta/degree range (log1p of
+  // [0, 1e9] stays under ~21), decays from both call sites, dims covering
+  // full vectors, masked pair tails, and odd trailing lanes.
+  const float xs[] = {0.0f, 1e-4f, 0.3f, 1.0f, 3.1415926f, 7.5f, 20.7f};
+  const float decays[] = {0.5f, 0.6f, 0.9f};
+  for (float xv : xs) {
+    for (float decay : decays) {
+      for (size_t dim : {1, 2, 7, 8, 16, 17, 32, 33}) {
+        std::vector<float> a(dim, -9.0f), b(dim, -9.0f);
+        s->sincos_encode(xv, decay, a.data(), dim);
+        x->sincos_encode(xv, decay, b.data(), dim);
+        for (size_t j = 0; j < dim; ++j) {
+          // |sin|,|cos| <= 1: the polynomial backend is within ~1e-7
+          // absolute of libm on this range.
+          EXPECT_NEAR(a[j], b[j], 1e-6f)
+              << "x=" << xv << " decay=" << decay << " dim=" << dim
+              << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, PaddedOperandsBitEqualContiguousWithinBackend) {
+  // Padding changes layout, never arithmetic: each backend must produce
+  // bit-identical results for padded and contiguous operands.
+  Rng rng(107);
+  std::vector<const KernelTable*> tables = {GetScalarKernels()};
+  if (HaveAvx2()) tables.push_back(GetAvx2Kernels());
+  for (const KernelTable* t : tables) {
+    for (size_t n : {2, 7, 16, 33}) {
+      const size_t m = 19, k = 21;
+      const Matrix a = Matrix::Gaussian(m, k, &rng);
+      const Matrix b = Matrix::Gaussian(k, n, &rng);
+      Matrix ap, bp;
+      ap.ResizePadded(m, k);
+      bp.ResizePadded(k, n);
+      for (size_t i = 0; i < m; ++i) {
+        std::memcpy(ap.Row(i), a.Row(i), k * sizeof(float));
+      }
+      for (size_t i = 0; i < k; ++i) {
+        std::memcpy(bp.Row(i), b.Row(i), n * sizeof(float));
+      }
+      ASSERT_GE(ap.stride(), ap.cols());
+      Matrix c(m, n);
+      Matrix cp;
+      cp.ResizePadded(m, n);
+      t->matmul_range(a, b, &c, 0, m, false);
+      t->matmul_range(ap, bp, &cp, 0, m, false);
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(c(i, j), cp(i, j))
+              << t->name << " padded (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ResolveKernelChoiceTable) {
+  // (env, cpu_has_avx2, avx2_compiled) -> backend, every cell.
+  EXPECT_STREQ(ResolveKernelChoice(nullptr, true, true), "avx2");
+  EXPECT_STREQ(ResolveKernelChoice(nullptr, false, true), "scalar");
+  EXPECT_STREQ(ResolveKernelChoice(nullptr, true, false), "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("auto", true, true), "avx2");
+  EXPECT_STREQ(ResolveKernelChoice("auto", false, false), "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("scalar", true, true), "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("avx2", true, true), "avx2");
+  EXPECT_STREQ(ResolveKernelChoice("avx2", false, true), "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("avx2", true, false), "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("bogus", true, true), "avx2");
+  EXPECT_STREQ(ResolveKernelChoice("bogus", false, true), "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("", true, true), "avx2");
+}
+
+TEST(SimdKernelsTest, SetKernelBackendForTestingSwitchesTable) {
+  ASSERT_TRUE(SetKernelBackendForTesting("scalar"));
+  EXPECT_STREQ(KernelBackendName(), "scalar");
+  if (HaveAvx2()) {
+    ASSERT_TRUE(SetKernelBackendForTesting("avx2"));
+    EXPECT_STREQ(KernelBackendName(), "avx2");
+  }
+  EXPECT_FALSE(SetKernelBackendForTesting("neon"));
+  // Restore the env-resolved default for whatever runs next.
+  ASSERT_TRUE(SetKernelBackendForTesting("auto"));
+}
+
+}  // namespace
+}  // namespace splash
