@@ -20,7 +20,13 @@
 // concurrency.
 //
 // Usage: bench_serve_load [--smoke] [--ops N] [--threads T]
-//                         [--json PATH] [--context key=value]...
+//                         [--wal none|batch|always] [--json PATH]
+//                         [--context key=value]...
+//
+// The durability row (BM_ServeSmokeMixedWal/<policy>) reruns the pinned
+// smoke workload against a durable service (WAL + checkpoints in a
+// throwaway dir) so the snapshot records what the write-ahead layer costs;
+// --wal picks its fsync policy.
 
 #include <ctime>
 #include <algorithm>
@@ -81,6 +87,10 @@ struct LoadConfig {
   size_t ops = 20000;
   double open_loop_rate = 0.0;  // > 0: paced arrivals per second
   uint64_t seed = 1234;
+  /// "" = no durability; "none"/"batch"/"always" = durable service (WAL +
+  /// checkpoints in a throwaway dir) with that fsync policy — the
+  /// durability-overhead row of BENCH_serve.json.
+  std::string wal;
 };
 
 /// One scenario against a fresh service. `warmup` provides the offline
@@ -95,6 +105,21 @@ RowResult RunScenario(const LoadConfig& cfg, const Dataset& warmup,
   sopts.queue_capacity = 8192;
   sopts.backpressure = BackpressurePolicy::kBlock;
   sopts.train_on_ingest_labels = false;
+  std::string wal_dir;
+  if (!cfg.wal.empty()) {
+    char tmpl[] = "/tmp/splash_bench_wal_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::fprintf(stderr, "mkdtemp failed for --wal run\n");
+      std::exit(1);
+    }
+    wal_dir = tmpl;
+    sopts.data_dir = wal_dir;
+    sopts.wal_fsync = cfg.wal == "always"  ? WalFsyncPolicy::kAlways
+                      : cfg.wal == "none" ? WalFsyncPolicy::kNone
+                                          : WalFsyncPolicy::kBatch;
+    sopts.wal_group_records = 8;
+    sopts.checkpoint_interval_batches = 256;
+  }
   SplashService service(LoadModelOptions(), sopts);
   TrainerOptions fit;
   fit.epochs = 1;
@@ -102,7 +127,9 @@ RowResult RunScenario(const LoadConfig& cfg, const Dataset& warmup,
   fit.early_stopping = false;
   std::fflush(stdout);
   {
-    const Status st = service.Start(warmup, split, &fit);
+    const Status st = wal_dir.empty()
+                          ? service.Start(warmup, split, &fit)
+                          : service.RecoverOrStart(warmup, split, &fit);
     if (!st.ok()) {
       std::fprintf(stderr, "Start failed: %s\n", st.message().c_str());
       std::exit(1);
@@ -155,6 +182,10 @@ RowResult RunScenario(const LoadConfig& cfg, const Dataset& warmup,
   const double wall_s = wall.Seconds();
   const uint64_t cpu_ns = ProcessCpuNs() - cpu0;
   service.Stop();
+  if (!wal_dir.empty() && wal_dir.rfind("/tmp/", 0) == 0) {
+    const std::string cmd = "rm -rf '" + wal_dir + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
 
   RowResult row;
   row.name = cfg.name;
@@ -238,14 +269,18 @@ void WriteJson(const std::string& path,
           "      \"ingest_dropped\": %" PRIu64 ",\n"
           "      \"watermark\": %" PRIu64 ",\n"
           "      \"unseen_node_queries\": %" PRIu64 ",\n"
-          "      \"batches_applied\": %" PRIu64,
+          "      \"batches_applied\": %" PRIu64 ",\n"
+          "      \"wal_records\": %" PRIu64 ",\n"
+          "      \"wal_fsyncs\": %" PRIu64 ",\n"
+          "      \"checkpoints_written\": %" PRIu64,
           r.stats.predict.p50_ns, r.stats.predict.p99_ns,
           r.stats.predict.p999_ns, r.stats.ingest.p99_ns,
           r.stats.apply.p99_ns, r.stats.counters.queries,
           r.stats.counters.ingest_accepted, r.stats.counters.ingest_dropped,
           r.stats.counters.published_seq,
           r.stats.counters.unseen_node_queries,
-          r.stats.counters.batches_applied);
+          r.stats.counters.batches_applied, r.stats.counters.wal_records,
+          r.stats.counters.wal_fsyncs, r.stats.counters.checkpoints_written);
     }
     std::fprintf(f, "\n    }%s\n", i + 1 < rows.size() ? "," : "");
   }
@@ -258,6 +293,7 @@ int Main(int argc, char** argv) {
   bool smoke = false;
   size_t ops = 0;
   size_t threads = 0;
+  std::string wal_mode = "batch";
   std::string json_path = "BENCH_serve.json";
   std::vector<std::pair<std::string, std::string>> context;
   for (int i = 1; i < argc; ++i) {
@@ -275,6 +311,13 @@ int Main(int argc, char** argv) {
       ops = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--threads") {
       threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--wal") {
+      wal_mode = next();
+      if (wal_mode != "none" && wal_mode != "batch" && wal_mode != "always") {
+        std::fprintf(stderr, "--wal wants none|batch|always, got %s\n",
+                     wal_mode.c_str());
+        std::exit(2);
+      }
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--context") {
@@ -347,6 +390,21 @@ int Main(int argc, char** argv) {
                 return a.cpu_ns_per_op < b.cpu_ns_per_op;
               });
     rows.push_back(reps[2]);
+
+    // Durability-overhead row: the identical pinned workload with the WAL +
+    // checkpoint layer on (--wal picks the fsync policy; default batch).
+    // Not a gated row — it exists so BENCH_serve.json documents what
+    // durability costs relative to BM_ServeSmokeMixed on the same host.
+    LoadConfig cw = c;
+    cw.name = "BM_ServeSmokeMixedWal/" + wal_mode;
+    cw.wal = wal_mode;
+    RowResult wreps[3];
+    for (RowResult& r : wreps) r = RunScenario(cw, ds, split, live);
+    std::sort(std::begin(wreps), std::end(wreps),
+              [](const RowResult& a, const RowResult& b) {
+                return a.cpu_ns_per_op < b.cpu_ns_per_op;
+              });
+    rows.push_back(wreps[1]);
   }
   if (!smoke) {
     Dataset ds;

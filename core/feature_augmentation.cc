@@ -341,4 +341,33 @@ void FeatureAugmenter::EncodeDegree(size_t degree, float* out) const {
                opts_.feature_dim);
 }
 
+void FeatureAugmenter::Serialize(ByteWriter* w) const {
+  w->U64(opts_.feature_dim);
+  w->U64(opts_.seed);
+  w->U8(opts_.enable_positional ? 1 : 0);
+  w->U8Vec(seen_);
+  w->U32Vec(prop_count_);
+  degrees_.Serialize(w);
+  WriteMatrix(w, positional_);
+  WriteMatrix(w, random_seen_);
+  WriteMatrix(w, random_prop_);
+  WriteMatrix(w, positional_prop_);
+}
+
+bool FeatureAugmenter::Deserialize(ByteReader* r) {
+  if (r->U64() != opts_.feature_dim || r->U64() != opts_.seed ||
+      (r->U8() != 0) != opts_.enable_positional) {
+    return false;
+  }
+  if (!r->U8Vec(&seen_) || !r->U32Vec(&prop_count_) ||
+      !degrees_.Deserialize(r)) {
+    return false;
+  }
+  if (!ReadMatrix(r, &positional_) || !ReadMatrix(r, &random_seen_) ||
+      !ReadMatrix(r, &random_prop_) || !ReadMatrix(r, &positional_prop_)) {
+    return false;
+  }
+  return r->ok();
+}
+
 }  // namespace splash

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/serialize.h"
 #include "core/types.h"
 #include "graph/degree_tracker.h"
 #include "graph/edge_stream.h"
@@ -99,6 +100,15 @@ class FeatureAugmenter {
     return node < seen_.size() && seen_[node] != 0;
   }
   const DegreeTracker& degrees() const { return degrees_; }
+
+  /// Checkpoint hooks: BOTH the fitted state (seen set, positional
+  /// embedding, cached random rows) and the dynamic state (degree counts,
+  /// propagated rows, Eq. (5) denominators) — restore needs no FitSeen and
+  /// no replay. Deserialize validates the options fingerprint (dim / seed /
+  /// positional flag) so a checkpoint can never be applied to a
+  /// differently-configured augmenter.
+  void Serialize(ByteWriter* w) const;
+  bool Deserialize(ByteReader* r);
 
  private:
   void EnsureNodeCapacity(size_t n);

@@ -1,0 +1,256 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Byte-level serialization substrate for the durability layer (serve/wal,
+// serve/checkpoint, and the Serialize/Deserialize hooks on the streaming
+// state holders). Design constraints:
+//
+//   - Bit-exact round trips. Floats and doubles are copied as raw IEEE-754
+//     bytes, never formatted, so checkpoint-restore reproduces model state
+//     down to the last mantissa bit — the property the recovery oracle
+//     (tests/serve_recovery_test) pins.
+//   - Explicit widths, little-endian layout. Every field is written through
+//     a fixed-width method; there is no struct memcpy, so padding and ABI
+//     never leak into the format.
+//   - Readers never trust the stream. ByteReader is bounds-checked with a
+//     sticky ok() flag; a truncated or hostile buffer yields zeros and
+//     ok() == false instead of out-of-bounds reads.
+//
+// Also hosts the software CRC32C (Castagnoli) used to frame WAL records
+// and checkpoint payloads. Table-driven and portable: framing integrity
+// must not depend on SSE4.2 being present, and the polynomial matches the
+// hardware instruction so a future accelerated swap-in stays
+// format-compatible.
+
+#ifndef SPLASH_CORE_SERIALIZE_H_
+#define SPLASH_CORE_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace splash {
+
+/// CRC32C (Castagnoli, poly 0x1EDC6F41 reflected = 0x82F63B78). `seed` is
+/// the running CRC for incremental use; pass 0 to start.
+inline uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0) {
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+/// Append-only byte sink over a caller-visible vector. Grow-only via the
+/// vector; reusable across records by clearing the buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void Clear() { buf_.clear(); }
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  /// For framing writers that reserve a header in-line and patch it after
+  /// the payload is encoded (serve/wal).
+  uint8_t* mutable_data() { return buf_.data(); }
+
+  void Bytes(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) { WriteLE(v); }
+  void U64(uint64_t v) { WriteLE(v); }
+  void I32(int32_t v) { WriteLE(static_cast<uint32_t>(v)); }
+  void F32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteLE(bits);
+  }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteLE(bits);
+  }
+
+  // Length-prefixed arrays (count as u64, then raw element bytes; numeric
+  // element layout matches the scalar methods on little-endian hosts, which
+  // is the only layout the format defines).
+  void U8Vec(const std::vector<uint8_t>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size());
+  }
+  void U32Vec(const std::vector<uint32_t>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(uint32_t));
+  }
+  void U64Vec(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(uint64_t));
+  }
+  void F64Vec(const std::vector<double>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(double));
+  }
+
+ private:
+  template <typename T>
+  void WriteLE(T v) {
+    uint8_t b[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      b[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    Bytes(b, sizeof(T));
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a borrowed byte span. Any overrun sets the
+/// sticky ok() flag false and every subsequent read yields zero — callers
+/// check ok() once at the end (and Deserialize hooks additionally validate
+/// shapes/config as they go).
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : p_(data), n_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& v)
+      : p_(v.data()), n_(v.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return n_ - pos_; }
+  bool AtEnd() const { return pos_ == n_; }
+
+  bool Bytes(void* out, size_t n) {
+    if (!ok_ || n > n_ - pos_) {
+      ok_ = false;
+      if (n > 0) std::memset(out, 0, n);
+      return false;
+    }
+    std::memcpy(out, p_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Bytes(&v, 1);
+    return v;
+  }
+  uint32_t U32() { return ReadLE<uint32_t>(); }
+  uint64_t U64() { return ReadLE<uint64_t>(); }
+  int32_t I32() { return static_cast<int32_t>(ReadLE<uint32_t>()); }
+  float F32() {
+    const uint32_t bits = ReadLE<uint32_t>();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = ReadLE<uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // Length-prefixed arrays. The element count is validated against the
+  // remaining bytes BEFORE resizing, so a corrupt length cannot trigger a
+  // pathological allocation.
+  bool U8Vec(std::vector<uint8_t>* v) { return ReadVec(v, sizeof(uint8_t)); }
+  bool U32Vec(std::vector<uint32_t>* v) {
+    return ReadVec(v, sizeof(uint32_t));
+  }
+  bool U64Vec(std::vector<uint64_t>* v) {
+    return ReadVec(v, sizeof(uint64_t));
+  }
+  bool F64Vec(std::vector<double>* v) { return ReadVec(v, sizeof(double)); }
+
+ private:
+  template <typename T>
+  T ReadLE() {
+    uint8_t b[sizeof(T)] = {0};
+    Bytes(b, sizeof(T));
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(b[i]) << (8 * i);
+    }
+    return v;
+  }
+
+  template <typename V>
+  bool ReadVec(V* v, size_t elem_size) {
+    const uint64_t count = U64();
+    if (!ok_ || count > remaining() / elem_size) {
+      ok_ = false;
+      v->clear();
+      return false;
+    }
+    v->resize(static_cast<size_t>(count));
+    return Bytes(v->data(), v->size() * elem_size);
+  }
+
+  const uint8_t* p_;
+  size_t n_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Matrix payload: dims + the meaningful [0, cols) range of every row.
+/// Stride padding (ResizePadded) is dead storage and is deliberately not
+/// serialized — a restored matrix is contiguous with identical contents.
+inline void WriteMatrix(ByteWriter* w, const Matrix& m) {
+  w->U64(m.rows());
+  w->U64(m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    w->Bytes(m.Row(r), m.cols() * sizeof(float));
+  }
+}
+
+inline bool ReadMatrix(ByteReader* r, Matrix* m) {
+  const uint64_t rows = r->U64();
+  const uint64_t cols = r->U64();
+  if (!r->ok() ||
+      (cols != 0 && rows > r->remaining() / (cols * sizeof(float)))) {
+    return false;
+  }
+  m->Resize(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  for (size_t i = 0; i < rows; ++i) {
+    if (!r->Bytes(m->Row(i), static_cast<size_t>(cols) * sizeof(float))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// ReadMatrix constrained to an expected shape — parameter/moment matrices
+/// whose dims are fixed by the model architecture reject a stream that
+/// disagrees instead of silently reshaping.
+inline bool ReadMatrixExpect(ByteReader* r, Matrix* m, size_t rows,
+                             size_t cols) {
+  const uint64_t got_rows = r->U64();
+  const uint64_t got_cols = r->U64();
+  if (!r->ok() || got_rows != rows || got_cols != cols) return false;
+  m->Resize(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    if (!r->Bytes(m->Row(i), cols * sizeof(float))) return false;
+  }
+  return true;
+}
+
+}  // namespace splash
+
+#endif  // SPLASH_CORE_SERIALIZE_H_

@@ -73,6 +73,33 @@ size_t SlimModel::ParamCount() const {
          w3_.w.size() + b3_.w.size() + w4_.w.size() + b4_.w.size();
 }
 
+void SlimModel::Serialize(ByteWriter* w) const {
+  w->U64(adam_t_);
+  w->U64(train_calls_);
+  const Param* ps[kNumParams] = {&w1_, &b1_, &w2_, &b2_, &w3_, &b3_,
+                                 &w4_, &b4_};
+  for (const Param* p : ps) {
+    WriteMatrix(w, p->w);
+    WriteMatrix(w, p->m);
+    WriteMatrix(w, p->v);
+  }
+}
+
+bool SlimModel::Deserialize(ByteReader* r) {
+  adam_t_ = static_cast<size_t>(r->U64());
+  train_calls_ = r->U64();
+  Param* ps[kNumParams] = {&w1_, &b1_, &w2_, &b2_, &w3_, &b3_, &w4_, &b4_};
+  for (Param* p : ps) {
+    const size_t rows = p->w.rows(), cols = p->w.cols();
+    if (!ReadMatrixExpect(r, &p->w, rows, cols) ||
+        !ReadMatrixExpect(r, &p->m, rows, cols) ||
+        !ReadMatrixExpect(r, &p->v, rows, cols)) {
+      return false;
+    }
+  }
+  return r->ok();
+}
+
 SlimModel::GradRefs SlimModel::MainGradRefs() {
   return GradRefs{{&w1_.grad, &b1_.grad, &w2_.grad, &b2_.grad, &w3_.grad,
                    &b3_.grad, &w4_.grad, &b4_.grad}};

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/serialize.h"
 #include "tensor/matrix.h"
 #include "tensor/rng.h"
 
@@ -117,6 +118,15 @@ class SlimModel {
 
   size_t ParamCount() const;
   const SlimOptions& options() const { return opts_; }
+
+  /// Checkpoint hooks: the learned state — every parameter matrix plus its
+  /// Adam moments, the Adam step counter, and the train-call counter that
+  /// tags the per-chunk dropout streams. Gradient matrices and activation
+  /// scratch are per-step transients and are not serialized. Deserialize
+  /// verifies each matrix against the architecture-derived shape, so a
+  /// stream from a differently-sized model is rejected, never reshaped.
+  void Serialize(ByteWriter* w) const;
+  bool Deserialize(ByteReader* r);
 
  private:
   // Parameter order for gradient scratch/reduction: w1 b1 w2 b2 w3 b3 w4 b4.

@@ -249,4 +249,96 @@ double SplashPredictor::TrainBatch(
   return TrainStaged();
 }
 
+namespace {
+constexpr uint32_t kSplashStateMagic = 0x53504c53u;  // "SPLS"
+constexpr uint32_t kSplashStateVersion = 1;
+}  // namespace
+
+void SplashPredictor::SerializeState(ByteWriter* w) const {
+  w->U32(kSplashStateMagic);
+  w->U32(kSplashStateVersion);
+  // Config fingerprint: a checkpoint only ever restores into a predictor
+  // constructed with the same identity-defining options.
+  w->U64(opts_.seed);
+  w->U32(static_cast<uint32_t>(opts_.mode));
+  w->U64(opts_.augment.feature_dim);
+  w->U32(static_cast<uint32_t>(selected_));
+  w->U64(input_dim_);
+  // SLIM architecture before RNG state: DeserializeState must reconstruct
+  // the model (whose init consumes RNG draws) BEFORE restoring the stream.
+  w->U8(slim_ ? 1 : 0);
+  if (slim_) {
+    const SlimOptions& so = slim_->options();
+    w->U64(so.feature_dim);
+    w->U64(so.time_dim);
+    w->U64(so.hidden_dim);
+    w->U64(so.out_dim);
+    w->U64(so.k_recent);
+    w->F32(so.dropout);
+    w->F32(so.lr);
+    w->U64(so.dropout_seed);
+  }
+  const Rng::State rs = rng_.SaveState();
+  for (int i = 0; i < 4; ++i) w->U64(rs.s[i]);
+  w->F32(rs.cached);
+  w->U8(rs.has_cached ? 1 : 0);
+  augmenter_.Serialize(w);
+  memory_.Serialize(w);
+  if (slim_) slim_->Serialize(w);
+}
+
+Status SplashPredictor::DeserializeState(ByteReader* r) {
+  if (r->U32() != kSplashStateMagic || r->U32() != kSplashStateVersion) {
+    return Status::Error("SplashPredictor: bad state magic/version");
+  }
+  if (r->U64() != opts_.seed ||
+      r->U32() != static_cast<uint32_t>(opts_.mode) ||
+      r->U64() != opts_.augment.feature_dim) {
+    return Status::Error(
+        "SplashPredictor: checkpoint config fingerprint mismatch");
+  }
+  selected_ = static_cast<AugmentationProcess>(r->U32());
+  input_dim_ = static_cast<size_t>(r->U64());
+  const bool has_slim = r->U8() != 0;
+  if (has_slim) {
+    SlimOptions so;
+    so.feature_dim = static_cast<size_t>(r->U64());
+    so.time_dim = static_cast<size_t>(r->U64());
+    so.hidden_dim = static_cast<size_t>(r->U64());
+    so.out_dim = static_cast<size_t>(r->U64());
+    so.k_recent = static_cast<size_t>(r->U64());
+    so.dropout = r->F32();
+    so.lr = r->F32();
+    so.dropout_seed = r->U64();
+    if (!r->ok() || so.feature_dim != input_dim_ ||
+        so.k_recent != memory_.k()) {
+      return Status::Error("SplashPredictor: inconsistent SLIM architecture");
+    }
+    // Construction He-initializes from rng_ (consuming draws); the stream
+    // position and every parameter are overwritten below.
+    slim_ = std::make_unique<SlimModel>(so, &rng_);
+  } else {
+    slim_.reset();
+  }
+  Rng::State rs;
+  for (int i = 0; i < 4; ++i) rs.s[i] = r->U64();
+  rs.cached = r->F32();
+  rs.has_cached = r->U8() != 0;
+  rng_.LoadState(rs);
+  if (!augmenter_.Deserialize(r)) {
+    return Status::Error("SplashPredictor: augmenter state mismatch");
+  }
+  if (!memory_.Deserialize(r)) {
+    return Status::Error("SplashPredictor: neighbor memory state mismatch");
+  }
+  if (has_slim && !slim_->Deserialize(r)) {
+    return Status::Error("SplashPredictor: SLIM state mismatch");
+  }
+  if (!r->ok()) {
+    return Status::Error("SplashPredictor: truncated state stream");
+  }
+  if (slim_) slim_->SetTraining(false);
+  return Status::Ok();
+}
+
 }  // namespace splash

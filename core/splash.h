@@ -17,6 +17,7 @@
 #include "core/feature_augmentation.h"
 #include "core/feature_selection.h"
 #include "core/predictor.h"
+#include "core/serialize.h"
 #include "core/slim.h"
 #include "graph/neighbor_memory.h"
 #include "tensor/rng.h"
@@ -99,6 +100,18 @@ class SplashPredictor : public TemporalPredictor {
   const FeatureAugmenter& augmenter() const { return augmenter_; }
   const NeighborMemory& memory() const { return memory_; }
   size_t input_dim() const { return input_dim_; }
+
+  /// Checkpoint hooks (serve/checkpoint): the complete post-Prepare state —
+  /// RNG stream, selected process, augmenter (fitted + dynamic), neighbor
+  /// rings, and SLIM (params + Adam moments + step counters). A
+  /// deserialized predictor needs neither Prepare() nor a warmup dataset:
+  /// it resumes bit-identically to the serialized one. DeserializeState
+  /// validates a config fingerprint (seed / mode / feature_dim and the
+  /// serialized SLIM architecture) and fails without partial mutation
+  /// visible to queries only if the very first header check fails; callers
+  /// treat any error as "replica unusable" and abandon recovery.
+  void SerializeState(ByteWriter* w) const;
+  Status DeserializeState(ByteReader* r);
 
  private:
   /// Writes the mode's SLIM input feature of `node` (input_dim_ floats).

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/serialize.h"
 #include "core/types.h"
 
 namespace splash {
@@ -54,6 +55,19 @@ class DegreeTracker {
   void Clear() {
     std::fill(degree_.begin(), degree_.end(), 0u);
     num_edges_ = 0;
+  }
+
+  /// Checkpoint hooks: full counter state, including the array capacity
+  /// (growth is geometric, so restoring the exact size keeps subsequent
+  /// growth decisions — and thus allocation behavior — on the same path).
+  void Serialize(ByteWriter* w) const {
+    w->U64(num_edges_);
+    w->U32Vec(degree_);
+  }
+
+  bool Deserialize(ByteReader* r) {
+    num_edges_ = static_cast<size_t>(r->U64());
+    return r->U32Vec(&degree_) && r->ok();
   }
 
  private:

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/serialize.h"
 #include "core/types.h"
 #include "graph/edge_stream.h"
 #include "runtime/thread_pool.h"
@@ -149,6 +150,38 @@ class NeighborMemory {
       std::fill(sh.heads.begin(), sh.heads.end(), 0u);
       std::fill(sh.counts.begin(), sh.counts.end(), 0u);
     }
+  }
+
+  /// Checkpoint hooks: the full ring slabs (ids + times), per-node cursors
+  /// (heads) and fill counts of every shard, exactly as laid out in
+  /// memory. Deserialize requires the same k and shard geometry the memory
+  /// was constructed with — ring layout is derived from both, so a
+  /// mismatch means the checkpoint belongs to a different configuration.
+  void Serialize(ByteWriter* w) const {
+    w->U64(k_);
+    w->U64(shards_.size());
+    for (const Shard& sh : shards_) {
+      w->U32Vec(sh.ids);
+      w->F64Vec(sh.times);
+      w->U32Vec(sh.heads);
+      w->U32Vec(sh.counts);
+    }
+  }
+
+  bool Deserialize(ByteReader* r) {
+    if (r->U64() != k_ || r->U64() != shards_.size()) return false;
+    for (Shard& sh : shards_) {
+      if (!r->U32Vec(&sh.ids) || !r->F64Vec(&sh.times) ||
+          !r->U32Vec(&sh.heads) || !r->U32Vec(&sh.counts)) {
+        return false;
+      }
+      if (sh.ids.size() != sh.counts.size() * k_ ||
+          sh.times.size() != sh.ids.size() ||
+          sh.heads.size() != sh.counts.size()) {
+        return false;
+      }
+    }
+    return r->ok();
   }
 
  private:

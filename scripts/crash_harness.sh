@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# kill -9 crash/recovery loop over the durable serving layer (DESIGN.md §7).
+#
+# Each cycle starts build/serve_crash_child feeding a deterministic edge
+# corpus into a durable SplashService (WAL + periodic checkpoints), SIGKILLs
+# it at a random point mid-stream, then re-runs it in --mode=verify: recover
+# from the surviving data_dir, replay the full WAL history through a fresh
+# predictor, and require the recovered state to be BIT-IDENTICAL (predictor
+# blob, ingest log, probe predictions). Successive run cycles resume from
+# the recovered watermark, so one data_dir accumulates crashes at many
+# depths; when the corpus is exhausted (clean exit 0) the dir is reset and
+# the stream starts over.
+#
+# Usage: scripts/crash_harness.sh [cycles] [build-dir]
+#   cycles     kill-9 cycles to run (default 20)
+#   build-dir  where serve_crash_child lives (default build)
+# Env: SEED=n reseeds the kill-timing RNG (default 1).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cycles="${1:-20}"
+build_dir="${2:-${repo_root}/build}"
+child="${build_dir}/serve_crash_child"
+
+if [[ ! -x "${child}" ]]; then
+  echo "crash_harness: ${child} not built" >&2
+  exit 2
+fi
+
+data_dir="$(mktemp -d /tmp/splash_crash_harness_XXXXXX)"
+trap 'rm -rf "${data_dir}"' EXIT
+
+RANDOM=${SEED:-1}
+kills=0
+clean_exits=0
+
+for ((cycle = 1; cycle <= cycles; cycle++)); do
+  # Pace ingest so the whole corpus takes ~1.5s of wall clock and the kill
+  # (50-400ms in) lands mid-stream at an arbitrary WAL/checkpoint boundary.
+  "${child}" --data-dir="${data_dir}" --mode=run --pace-us=2000 \
+    2>/dev/null &
+  pid=$!
+  delay_ms=$((50 + RANDOM % 350))
+  sleep "$(awk "BEGIN { print ${delay_ms} / 1000 }")"
+
+  if kill -9 "${pid}" 2>/dev/null; then
+    kills=$((kills + 1))
+    wait "${pid}" 2>/dev/null && true
+    status=$?
+    if [[ "${status}" -ne 137 ]]; then
+      echo "crash_harness: cycle ${cycle}: expected SIGKILL status 137," \
+        "got ${status}" >&2
+      exit 1
+    fi
+  else
+    # The child finished the corpus before the kill landed.
+    wait "${pid}" 2>/dev/null && true
+    status=$?
+    if [[ "${status}" -ne 0 ]]; then
+      echo "crash_harness: cycle ${cycle}: clean run failed (${status})" >&2
+      exit 1
+    fi
+    clean_exits=$((clean_exits + 1))
+  fi
+
+  if ! "${child}" --data-dir="${data_dir}" --mode=verify; then
+    echo "crash_harness: cycle ${cycle}: RECOVERY DIVERGED (kill after" \
+      "${delay_ms}ms) — data_dir preserved at ${data_dir}" >&2
+    trap - EXIT
+    exit 1
+  fi
+
+  # Corpus exhausted: reset and let the next cycle crash the early stream.
+  if [[ "${status}" -eq 0 ]]; then
+    rm -rf "${data_dir}"
+    mkdir -p "${data_dir}"
+  fi
+done
+
+echo "crash_harness: ${cycles} cycles OK (${kills} kill -9," \
+  "${clean_exits} clean exits), recovery bit-exact every time"

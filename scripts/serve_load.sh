@@ -35,6 +35,7 @@ splash_threads="${SPLASH_THREADS:-1}"
 splash_kernel="${SPLASH_KERNEL:-scalar}"
 SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL="${splash_kernel}" \
   "${build_dir}/bench_serve_load" \
+  --wal batch \
   --json "${repo_root}/BENCH_serve.json" \
   --context host_cores="$(nproc)" \
   --context splash_threads="${splash_threads}" \

@@ -1,0 +1,79 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "serve/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace splash {
+namespace {
+
+// Per-point countdowns. 0 = disarmed; a hit decrements and fires when the
+// decrement reaches zero. Relaxed is enough: arming happens before traffic
+// starts (single-threaded test/harness setup), and the apply thread is the
+// only hitter of any given point.
+std::atomic<uint32_t> g_countdown[static_cast<int>(
+    CrashPoint::kNumCrashPoints)] = {};
+
+constexpr const char* kNames[] = {
+    "wal-after-append",      "wal-before-fsync",
+    "wal-mid-frame",         "checkpoint-mid-write",
+    "checkpoint-before-rename", "checkpoint-after-rename",
+};
+static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+                  static_cast<size_t>(CrashPoint::kNumCrashPoints),
+              "crash point name table out of sync");
+
+}  // namespace
+
+const char* CrashPointName(CrashPoint p) {
+  return kNames[static_cast<int>(p)];
+}
+
+bool ParseCrashPoint(const char* name, CrashPoint* out) {
+  for (int i = 0; i < static_cast<int>(CrashPoint::kNumCrashPoints); ++i) {
+    if (std::strcmp(name, kNames[i]) == 0) {
+      *out = static_cast<CrashPoint>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ArmCrashPoint(CrashPoint p, uint32_t nth) {
+  g_countdown[static_cast<int>(p)].store(nth, std::memory_order_relaxed);
+}
+
+void DisarmAllCrashPoints() {
+  for (auto& c : g_countdown) c.store(0, std::memory_order_relaxed);
+}
+
+void ArmCrashPointsFromEnv() {
+  const char* spec = std::getenv("SPLASH_CRASH_POINT");
+  if (spec == nullptr || spec[0] == '\0') return;
+  char buf[128];
+  std::strncpy(buf, spec, sizeof(buf) - 1);
+  buf[sizeof(buf) - 1] = '\0';
+  uint32_t nth = 1;
+  if (char* colon = std::strchr(buf, ':')) {
+    *colon = '\0';
+    const long v = std::strtol(colon + 1, nullptr, 10);
+    nth = v > 0 ? static_cast<uint32_t>(v) : 1;
+  }
+  CrashPoint p;
+  if (ParseCrashPoint(buf, &p)) ArmCrashPoint(p, nth);
+}
+
+bool CrashPointHit(CrashPoint p) {
+  std::atomic<uint32_t>& c = g_countdown[static_cast<int>(p)];
+  uint32_t v = c.load(std::memory_order_relaxed);
+  if (v == 0) return false;
+  c.store(v - 1, std::memory_order_relaxed);
+  return v == 1;
+}
+
+void CrashNow() { _exit(kCrashExitCode); }
+
+}  // namespace splash

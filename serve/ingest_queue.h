@@ -57,6 +57,7 @@ class IngestQueue {
     if (stopped_ || size_ == ring_.size()) return false;
     ring_[(head_ + size_) % ring_.size()] = item;
     ++size_;
+    if (size_ > high_watermark_) high_watermark_ = size_;
     lk.unlock();
     not_empty_.notify_one();
     return true;
@@ -110,6 +111,14 @@ class IngestQueue {
     return size_;
   }
 
+  /// Maximum depth ever observed (monotone). A high-watermark at capacity
+  /// means producers saturated the ring at least once — the early-warning
+  /// signal before drops (kDropNewest) or producer stalls (kBlock).
+  size_t high_watermark() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return high_watermark_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
@@ -117,6 +126,7 @@ class IngestQueue {
   std::vector<IngestItem> ring_;
   size_t head_ = 0;
   size_t size_ = 0;
+  size_t high_watermark_ = 0;
   bool stopped_ = false;
   BackpressurePolicy policy_;
 };

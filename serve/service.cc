@@ -2,9 +2,18 @@
 
 #include "serve/service.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <cstring>
 #include <functional>
+
+#include "serve/checkpoint.h"
+#include "serve/fault_injection.h"
 
 namespace splash {
 
@@ -16,15 +25,9 @@ SplashService::SplashService(const SplashOptions& model_opts,
 
 SplashService::~SplashService() { Stop(); }
 
-Status SplashService::Start(const Dataset& warmup, const ChronoSplit& split,
-                            const TrainerOptions* fit) {
-  if (running_.load()) {
-    return Status::Error("SplashService::Start: already running");
-  }
-  if (apply_thread_.joinable()) {
-    return Status::Error("SplashService::Start: service cannot restart");
-  }
-
+Status SplashService::PrepareReplicas(const Dataset& warmup,
+                                      const ChronoSplit& split,
+                                      const TrainerOptions* fit) {
   // Both replicas run the identical deterministic pipeline (same options,
   // same seed, same thread count), so they end bit-identical — the
   // invariant the whole snapshot scheme rests on.
@@ -39,7 +42,10 @@ Status SplashService::Start(const Dataset& warmup, const ChronoSplit& split,
     replicas_[r]->SetTraining(false);
     replicas_[r]->ResetState();
   }
+  return Status::Ok();
+}
 
+void SplashService::InitLogFromWarmup(const Dataset& warmup) {
   // Serving starts from an empty ingest log: watermark 0 == "weights only,
   // no streamed edge". Nodes touched by the warmup stream are "known";
   // everything else counts toward the novel-id drift signal.
@@ -52,12 +58,146 @@ Status SplashService::Start(const Dataset& warmup, const ChronoSplit& split,
     node_seen_[wsrc[i]] = 1;
     node_seen_[wdst[i]] = 1;
   }
+}
+
+Status SplashService::Start(const Dataset& warmup, const ChronoSplit& split,
+                            const TrainerOptions* fit) {
+  if (!opts_.data_dir.empty()) {
+    return Status::Error(
+        "SplashService::Start: data_dir is set — use RecoverOrStart()");
+  }
+  if (running_.load()) {
+    return Status::Error("SplashService::Start: already running");
+  }
+  if (apply_thread_.joinable()) {
+    return Status::Error("SplashService::Start: service cannot restart");
+  }
+
+  Status st = PrepareReplicas(warmup, split, fit);
+  if (!st.ok()) return st;
+  InitLogFromWarmup(warmup);
   wm_seq_[0] = wm_seq_[1] = 0;
   wm_time_[0] = wm_time_[1] = 0.0;
   batch_bounds_.clear();
   train_log_.clear();
 
   started_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  apply_thread_ = std::thread(&SplashService::ApplyLoop, this);
+  return Status::Ok();
+}
+
+Status SplashService::RecoverOrStart(const Dataset& warmup,
+                                     const ChronoSplit& split,
+                                     const TrainerOptions* fit) {
+  if (opts_.data_dir.empty()) return Start(warmup, split, fit);
+  if (running_.load()) {
+    return Status::Error("SplashService::RecoverOrStart: already running");
+  }
+  if (apply_thread_.joinable()) {
+    return Status::Error("SplashService::RecoverOrStart: cannot restart");
+  }
+  if (::mkdir(opts_.data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Error("SplashService::RecoverOrStart: cannot create " +
+                         opts_.data_dir + ": " + std::strerror(errno));
+  }
+  durable_ = true;
+
+  // Base state: the newest valid checkpoint, else the deterministic
+  // Prepare/Fit pipeline (same as Start — recovery without a checkpoint
+  // rebuilds the fitted weights bit-identically and replays from zero).
+  CheckpointData ckpt;
+  bool have_ckpt = false;
+  Status st = LoadLatestCheckpoint(opts_.data_dir, &ckpt, &have_ckpt);
+  if (!st.ok()) return st;
+  if (have_ckpt) {
+    for (int r = 0; r < 2; ++r) {
+      replicas_[r] = std::make_unique<SplashPredictor>(model_opts_);
+      ByteReader rd(ckpt.predictor_state);
+      st = replicas_[r]->DeserializeState(&rd);
+      if (!st.ok()) return st;
+    }
+    log_ = std::move(ckpt.log);
+    node_seen_ = std::move(ckpt.node_seen);
+    wal_batch_index_ = ckpt.batches_applied;
+    recovered_from_checkpoint_ = true;
+  } else {
+    st = PrepareReplicas(warmup, split, fit);
+    if (!st.ok()) return st;
+    InitLogFromWarmup(warmup);
+    wal_batch_index_ = 0;
+  }
+  wm_seq_[0] = wm_seq_[1] = log_.size();
+  wm_time_[0] = wm_time_[1] = log_.empty() ? 0.0 : log_.max_time();
+  batch_bounds_.clear();
+  train_log_.clear();
+
+  // Collect the applicable WAL tail: the contiguous run of records with
+  // batch_index >= the checkpoint cursor, across segments oldest-first.
+  // A torn/corrupt tail inside the LAST segment is the normal crash shape
+  // (truncate, done); a gap before records that should exist means history
+  // was lost — recovery still proceeds, but the service is degraded.
+  std::vector<WalRecord> tail;
+  bool gap = false;
+  uint64_t next_batch = wal_batch_index_;
+  uint64_t next_seq = log_.size();
+  for (const WalSegmentInfo& seg : ListWalSegments(opts_.data_dir)) {
+    WalScan scan;
+    st = ScanWalFile(seg.path, &scan);
+    if (!st.ok()) return st;
+    if (!scan.header_ok) continue;  // interrupted creation: no records
+    for (WalRecord& rec : scan.records) {
+      if (rec.batch_index < next_batch) continue;  // inside the checkpoint
+      if (rec.batch_index != next_batch || rec.seq_begin != next_seq) {
+        gap = true;
+        break;
+      }
+      next_seq = rec.seq_end;
+      ++next_batch;
+      tail.push_back(std::move(rec));
+    }
+    if (gap) break;
+  }
+  recovery_target_seq_.store(next_seq, std::memory_order_relaxed);
+  if (gap) degraded_.store(true, std::memory_order_relaxed);
+
+  // Queries may run during replay; they see the advancing snapshots and
+  // answer degraded=true until the watermark reaches the replay target.
+  started_.store(true, std::memory_order_release);
+
+  // Replay preserving the recorded micro-batch boundaries: train-batch
+  // composition feeds SLIM's update order, so re-batching would change
+  // bits. Publication follows the same gate protocol as live apply.
+  for (const WalRecord& rec : tail) {
+    const size_t edge_begin = log_.size();
+    for (const TemporalEdge& e : rec.edges) AppendEdgeToLog(e);
+    const size_t edge_end = log_.size();
+    const uint32_t back = gate_.back();
+    ApplyBatchTo(replicas_[back].get(), edge_begin, edge_end, rec.train);
+    wm_seq_[back] = edge_end;
+    wm_time_[back] = edge_end > 0 ? log_.max_time() : 0.0;
+    gate_.Publish();
+    const uint32_t other = gate_.back();
+    gate_.WaitReadersDrained(other);
+    ApplyBatchTo(replicas_[other].get(), edge_begin, edge_end, rec.train);
+    wm_seq_[other] = edge_end;
+    wm_time_[other] = wm_time_[1 - other];
+    ++wal_batch_index_;
+    if (opts_.record_apply_log) {
+      batch_bounds_.push_back(edge_end);
+      if (!rec.train.empty()) train_log_.emplace_back(edge_end, rec.train);
+    }
+  }
+  recovered_seq_ = log_.size();
+  recovery_replayed_.store(tail.size(), std::memory_order_relaxed);
+
+  // Checkpoint-on-recovery: makes the replayed tail durable again before
+  // the rotation below truncates/GCs anything, and gives a fresh durable
+  // start an immediate base checkpoint. Also opens the new active WAL
+  // segment. On failure the service comes up degraded (serving, not
+  // logging) rather than refusing to serve.
+  WriteServiceCheckpoint();
+
   running_.store(true, std::memory_order_release);
   apply_thread_ = std::thread(&SplashService::ApplyLoop, this);
   return Status::Ok();
@@ -122,6 +262,83 @@ bool SplashService::SubmitTrain(const PropertyQuery& q) {
   return ok;
 }
 
+TemporalEdge SplashService::AppendEdgeToLog(TemporalEdge e) {
+  if (!log_.empty() && e.time < log_.max_time()) {
+    // The log is a *stream*: monotonize stragglers instead of rejecting
+    // them, and surface the count as a drift signal.
+    time_regressions_.fetch_add(1, std::memory_order_relaxed);
+    e.time = log_.max_time();
+  }
+  const size_t prev_nodes = node_seen_.size();
+  const size_t hi = static_cast<size_t>(std::max(e.src, e.dst)) + 1;
+  if (hi > prev_nodes) node_seen_.resize(hi, 0);
+  uint64_t novel = 0;
+  novel += node_seen_[e.src] == 0 ? 1 : 0;
+  node_seen_[e.src] = 1;
+  novel += node_seen_[e.dst] == 0 ? 1 : 0;
+  node_seen_[e.dst] = 1;
+  if (novel > 0) {
+    novel_ingest_nodes_.fetch_add(novel, std::memory_order_relaxed);
+  }
+  log_.Append(e).ok();  // cannot fail: endpoints valid, time monotone
+  return e;
+}
+
+void SplashService::NoteWalError() {
+  wal_io_errors_.fetch_add(1, std::memory_order_relaxed);
+  degraded_.store(true, std::memory_order_relaxed);
+  wal_.Close();
+}
+
+void SplashService::MirrorWalFsyncs() {
+  const uint64_t fs = wal_.fsyncs();
+  if (fs > wal_fsyncs_base_) {
+    wal_fsyncs_.fetch_add(fs - wal_fsyncs_base_, std::memory_order_relaxed);
+    wal_fsyncs_base_ = fs;
+  }
+}
+
+void SplashService::WriteServiceCheckpoint() {
+  const uint64_t seq = log_.size();
+  const double wm_time = log_.empty() ? 0.0 : log_.max_time();
+  ckpt_state_scratch_.Clear();
+  replicas_[gate_.back()]->SerializeState(&ckpt_state_scratch_);
+  Status st = WriteCheckpoint(opts_.data_dir, seq, wal_batch_index_, wm_time,
+                              log_, node_seen_, ckpt_state_scratch_.buffer());
+  if (!st.ok()) {
+    // A failed checkpoint is a durability I/O error like any other: keep
+    // serving, keep the WAL (if open) appending, flag degraded.
+    wal_io_errors_.fetch_add(1, std::memory_order_relaxed);
+    degraded_.store(true, std::memory_order_relaxed);
+    return;
+  }
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  batches_since_checkpoint_ = 0;
+  SPLASH_CRASH_POINT(CrashPoint::kCheckpointAfterRename);
+
+  // Rotate: everything before wal_batch_index_ is inside the checkpoint,
+  // so the new active segment starts exactly at the cursor. Old segments
+  // are GC'd unless tests keep them for the full-history oracle.
+  wal_.Close();
+  MirrorWalFsyncs();
+  Status wst = wal_.Open(WalSegmentPath(opts_.data_dir, wal_batch_index_),
+                         seq, opts_.wal_fsync, opts_.wal_group_records);
+  wal_fsyncs_base_ = 0;
+  if (!wst.ok()) {
+    NoteWalError();
+    return;
+  }
+  if (opts_.gc_wal_on_checkpoint) {
+    for (const WalSegmentInfo& seg : ListWalSegments(opts_.data_dir)) {
+      if (seg.start_index != wal_batch_index_) ::unlink(seg.path.c_str());
+    }
+  }
+}
+
+void SplashService::SerializePredictorState(ByteWriter* w) const {
+  replicas_[gate_.back()]->SerializeState(w);
+}
+
 void SplashService::ApplyBatchTo(SplashPredictor* rep, size_t edge_begin,
                                  size_t edge_end,
                                  const std::vector<PropertyQuery>& train) {
@@ -164,34 +381,45 @@ void SplashService::ApplyLoop() {
     // current and catchup_train_ / log_ are exclusively ours again.
     pipe_.Wait();
 
+    // Quiesced point: both replicas identical at watermark log_.size().
+    if (durable_ && opts_.checkpoint_interval_batches > 0 &&
+        batches_since_checkpoint_ >= opts_.checkpoint_interval_batches) {
+      WriteServiceCheckpoint();
+    }
+
     const size_t edge_begin = log_.size();
     train_scratch_.clear();
+    wal_rec_.Clear();
     for (const IngestItem& item : batch_scratch_) {
       if (item.kind == IngestItem::Kind::kTrain) {
         train_scratch_.push_back(item.train);
         continue;
       }
-      TemporalEdge e = item.edge;  // endpoints/time validated at ingest
-      if (!log_.empty() && e.time < log_.max_time()) {
-        // The log is a *stream*: monotonize stragglers instead of
-        // rejecting them, and surface the count as a drift signal.
-        time_regressions_.fetch_add(1, std::memory_order_relaxed);
-        e.time = log_.max_time();
-      }
-      const size_t prev_nodes = node_seen_.size();
-      const size_t hi = static_cast<size_t>(std::max(e.src, e.dst)) + 1;
-      if (hi > prev_nodes) node_seen_.resize(hi, 0);
-      uint64_t novel = 0;
-      novel += node_seen_[e.src] == 0 ? 1 : 0;
-      node_seen_[e.src] = 1;
-      novel += node_seen_[e.dst] == 0 ? 1 : 0;
-      node_seen_[e.dst] = 1;
-      if (novel > 0) {
-        novel_ingest_nodes_.fetch_add(novel, std::memory_order_relaxed);
-      }
-      log_.Append(e).ok();  // cannot fail: endpoints valid, time monotone
+      // Endpoints/time were validated at ingest; record the post-clamp
+      // edge so WAL replay reproduces the log byte-for-byte.
+      wal_rec_.edges.push_back(AppendEdgeToLog(item.edge));
     }
     const size_t edge_end = log_.size();
+
+    // Write-ahead: the batch is durable (per the fsync policy) before any
+    // replica state or watermark reflects it. An append failure flips the
+    // service to degraded (serving, not logging) instead of stalling it.
+    if (durable_ && wal_.is_open()) {
+      wal_rec_.batch_index = wal_batch_index_;
+      wal_rec_.seq_begin = edge_begin;
+      wal_rec_.seq_end = edge_end;
+      wal_rec_.wm_time = log_.empty() ? 0.0 : log_.max_time();
+      wal_rec_.train = train_scratch_;
+      const Status wst = wal_.Append(wal_rec_);
+      if (wst.ok()) {
+        ++wal_batch_index_;
+        wal_records_.fetch_add(1, std::memory_order_relaxed);
+        MirrorWalFsyncs();
+      } else {
+        NoteWalError();
+      }
+    }
+    ++batches_since_checkpoint_;
 
     const uint32_t back = gate_.back();
     ApplyBatchTo(replicas_[back].get(), edge_begin, edge_end, train_scratch_);
@@ -231,6 +459,13 @@ void SplashService::ApplyLoop() {
     }
   }
   pipe_.Wait();  // no ingest outlives the service
+  if (durable_) {
+    if (opts_.checkpoint_on_stop && batches_since_checkpoint_ > 0) {
+      WriteServiceCheckpoint();
+    }
+    wal_.Close();
+    MirrorWalFsyncs();
+  }
   flush_cv_.notify_all();
 }
 
@@ -246,9 +481,15 @@ void SplashService::Flush() {
 
 void SplashService::Stop() {
   const bool was = running_.exchange(false);
+  if (!was) {
+    // Never started, or a previous Stop() already drained and joined.
+    // Crucially the queue is left untouched: Stop() before Start() must
+    // not poison it for a later Start (IngestQueue::Stop is terminal).
+    return;
+  }
   queue_.Stop();
   flush_cv_.notify_all();
-  if (was && apply_thread_.joinable()) apply_thread_.join();
+  if (apply_thread_.joinable()) apply_thread_.join();
 }
 
 uint64_t SplashService::published_seq() const {
@@ -276,6 +517,16 @@ ServeStats SplashService::Stats() const {
   st.counters.time_regressions =
       time_regressions_.load(std::memory_order_relaxed);
   st.counters.queue_depth = queue_.size();
+  st.counters.queue_high_watermark = queue_.high_watermark();
+  st.counters.wal_records = wal_records_.load(std::memory_order_relaxed);
+  st.counters.wal_fsyncs = wal_fsyncs_.load(std::memory_order_relaxed);
+  st.counters.wal_io_errors = wal_io_errors_.load(std::memory_order_relaxed);
+  st.counters.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  st.counters.recovered_seq = recovered_seq_;
+  st.counters.recovery_replayed_batches =
+      recovery_replayed_.load(std::memory_order_relaxed);
+  st.counters.degraded = degraded_.load(std::memory_order_relaxed);
   {
     const uint32_t idx = gate_.Pin();
     st.counters.published_seq = wm_seq_[idx];
@@ -324,7 +575,8 @@ ServeClient::~ServeClient() {
   service_->retired_predict_hist_.Merge(predict_hist_);
 }
 
-ServeResponse ServeClient::Predict(const std::vector<PropertyQuery>& queries) {
+ServeResponse ServeClient::Predict(const std::vector<PropertyQuery>& queries,
+                                   double timeout_s) {
   WallTimer timer;
   ServeResponse resp;
   SplashService* s = service_;
@@ -342,32 +594,63 @@ ServeResponse ServeClient::Predict(const std::vector<PropertyQuery>& queries) {
     if (!rep->augmenter().seen(q.node)) ++unseen;
   }
   s->gate_.Unpin(idx);
+  // Degraded: a durability error happened, or recovery replay is still
+  // ahead of the snapshot that answered (the answer is honest about its
+  // watermark either way — this flags that a fresher state is known).
+  resp.degraded =
+      s->degraded_.load(std::memory_order_relaxed) ||
+      resp.watermark_seq < s->recovery_target_seq_.load(std::memory_order_relaxed);
   s->queries_.fetch_add(queries.size(), std::memory_order_relaxed);
   if (unseen > 0) {
     s->unseen_node_queries_.fetch_add(unseen, std::memory_order_relaxed);
   }
+  const uint64_t ns = timer.Nanos();
+  if (timeout_s > 0.0 && static_cast<double>(ns) > timeout_s * 1e9) {
+    resp.deadline_exceeded = true;
+  }
   {
     std::lock_guard<std::mutex> lk(hist_mu_);
-    predict_hist_.RecordNs(timer.Nanos());
+    predict_hist_.RecordNs(ns);
   }
   return resp;
 }
 
-ServeResponse ServeClient::PredictNode(NodeId node, double time) {
+ServeResponse ServeClient::PredictNode(NodeId node, double time,
+                                       double timeout_s) {
   query_scratch_.resize(1);
   query_scratch_[0] = PropertyQuery{node, time, 0};
-  ServeResponse resp = Predict(query_scratch_);
+  ServeResponse resp = Predict(query_scratch_, timeout_s);
   if (resp.scores.rows() == 1 && resp.scores.cols() >= 2) {
     resp.score = static_cast<double>(resp.scores(0, 1)) - resp.scores(0, 0);
   }
   return resp;
 }
 
-ServeResponse ServeClient::ScoreEdge(NodeId src, NodeId dst, double time) {
+bool ServeClient::IngestEdgeWithRetry(const TemporalEdge& e, int max_attempts,
+                                      double initial_backoff_s) {
+  SplashService* s = service_;
+  if (e.src == kInvalidNode || e.dst == kInvalidNode ||
+      !std::isfinite(e.time)) {
+    return s->IngestEdge(e);  // boundary rejection: retrying cannot help
+  }
+  double backoff = initial_backoff_s > 0.0 ? initial_backoff_s : 0.0005;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (s->IngestEdge(e)) return true;
+    if (!s->running_.load(std::memory_order_acquire)) return false;
+    if (attempt + 1 == max_attempts) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min(backoff, 0.1)));
+    backoff *= 2.0;
+  }
+  return false;
+}
+
+ServeResponse ServeClient::ScoreEdge(NodeId src, NodeId dst, double time,
+                                     double timeout_s) {
   query_scratch_.resize(2);
   query_scratch_[0] = PropertyQuery{src, time, 0};
   query_scratch_[1] = PropertyQuery{dst, time, 0};
-  ServeResponse resp = Predict(query_scratch_);
+  ServeResponse resp = Predict(query_scratch_, timeout_s);
   if (resp.scores.rows() == 2 && resp.scores.cols() >= 2) {
     const double ms =
         static_cast<double>(resp.scores(0, 1)) - resp.scores(0, 0);

@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/serialize.h"
 #include "core/splash.h"
 #include "core/status.h"
 #include "datasets/dataset.h"
@@ -60,6 +61,7 @@
 #include "runtime/pipeline.h"
 #include "serve/ingest_queue.h"
 #include "serve/snapshot.h"
+#include "serve/wal.h"
 
 namespace splash {
 
@@ -79,6 +81,26 @@ struct SplashServiceOptions {
   /// Test hook: record every applied micro-batch boundary and train batch
   /// so a test can re-apply the exact sequence (the >1-thread oracle).
   bool record_apply_log = false;
+
+  // ---- Durability (DESIGN.md §7). Empty data_dir = no durability: the
+  // service behaves exactly as before this layer existed.
+  /// Directory for WAL segments and checkpoints. Non-empty enables the
+  /// durability layer; use RecoverOrStart() instead of Start().
+  std::string data_dir;
+  /// Group-commit fsync policy for WAL appends.
+  WalFsyncPolicy wal_fsync = WalFsyncPolicy::kBatch;
+  /// kBatch: fsync once per this many appended records.
+  size_t wal_group_records = 8;
+  /// Take a checkpoint every N applied micro-batches (0 = only at Stop).
+  /// Checkpoints run on the apply thread at a quiesced watermark; queries
+  /// keep being served from the published snapshot throughout.
+  uint64_t checkpoint_interval_batches = 256;
+  /// Checkpoint once more when Stop() drains (fast restart: empty WAL tail).
+  bool checkpoint_on_stop = true;
+  /// Delete WAL segments made redundant by a successful checkpoint. Tests
+  /// and the crash harness disable this to keep the full apply history
+  /// available for the bit-exact recovery oracle.
+  bool gc_wal_on_checkpoint = true;
 };
 
 /// One answered query. `watermark_seq` edges (and every train batch at or
@@ -89,6 +111,14 @@ struct ServeResponse {
   double score = 0.0;          // convenience margin (see PredictNode/ScoreEdge)
   uint64_t watermark_seq = 0;
   double watermark_time = 0.0;
+  /// True while the snapshot trails what recovery knows is durable (WAL
+  /// replay still catching up) or after a durability I/O error put the
+  /// service into degraded (serving-but-not-logging) mode.
+  bool degraded = false;
+  /// Set when the caller passed a deadline to PredictNode/ScoreEdge/Predict
+  /// and the call overran it (the answer is still returned — the flag lets
+  /// the caller decide whether a late answer is a useful answer).
+  bool deadline_exceeded = false;
 };
 
 /// Monotone counters of the service boundary (drift/quality signals).
@@ -106,6 +136,15 @@ struct ServeCounters {
   uint64_t published_seq = 0;
   double published_time = 0.0;
   size_t queue_depth = 0;
+  size_t queue_high_watermark = 0;  // max depth ever observed
+  // Durability counters (all zero when data_dir is unset).
+  uint64_t wal_records = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t wal_io_errors = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t recovered_seq = 0;             // watermark recovery restored to
+  uint64_t recovery_replayed_batches = 0; // WAL records replayed at recovery
+  bool degraded = false;
 };
 
 struct ServeStats {
@@ -134,6 +173,17 @@ class SplashService {
   Status Start(const Dataset& warmup, const ChronoSplit& split,
                const TrainerOptions* fit = nullptr);
 
+  /// Durable start (requires Options::data_dir). Loads the newest valid
+  /// checkpoint if one exists (otherwise runs the same deterministic
+  /// Prepare/Fit as Start), replays the WAL tail past it — preserving the
+  /// recorded micro-batch boundaries, so train-step composition and with
+  /// it every weight bit is reproduced — publishes snapshots as replay
+  /// advances (responses carry degraded=true until caught up), opens a
+  /// fresh WAL segment at the recovered watermark, and starts the apply
+  /// thread. With an empty data_dir this is exactly Start().
+  Status RecoverOrStart(const Dataset& warmup, const ChronoSplit& split,
+                        const TrainerOptions* fit = nullptr);
+
   /// Enqueues one edge. Returns false when rejected at the boundary
   /// (invalid endpoint / non-finite timestamp — counted as
   /// ingest_dropped) or dropped (kDropNewest backlog, service not
@@ -152,11 +202,22 @@ class SplashService {
 
   /// Drains the queue, applies the tail, stops the apply thread. Queries
   /// remain valid after Stop() (the final snapshot stays published).
+  /// Idempotent and safe before Start(): a never-started service ignores
+  /// the call (and its queue stays usable for a later Start).
   void Stop();
 
   bool running() const { return running_; }
   ServeStats Stats() const;
   uint64_t published_seq() const;
+  /// Sticky degraded flag: set on durability I/O errors and on WAL replay
+  /// gaps at recovery — "serving, but not everything promised durable/
+  /// recoverable held". Never set while data_dir is unset.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  /// Watermark recovery restored to (checkpoint + replayed WAL tail).
+  uint64_t recovered_seq() const { return recovered_seq_; }
+  bool recovered_from_checkpoint() const {
+    return recovered_from_checkpoint_;
+  }
 
   /// Test hooks — stable only while quiescent (after Flush() with no
   /// concurrent producers, or after Stop()).
@@ -172,6 +233,10 @@ class SplashService {
   applied_train_batches() const {
     return train_log_;
   }
+  /// Serializes the quiescent predictor state (the back replica — after
+  /// Flush with no concurrent producers, or after Stop, both replicas are
+  /// bit-identical). The byte-comparison handle of the recovery oracle.
+  void SerializePredictorState(ByteWriter* w) const;
 
  private:
   friend class ServeClient;
@@ -179,6 +244,19 @@ class SplashService {
   void ApplyLoop();
   void ApplyBatchTo(SplashPredictor* rep, size_t edge_begin, size_t edge_end,
                     const std::vector<PropertyQuery>& train);
+  /// Shared Start/RecoverOrStart pieces: deterministic replica prep (+fit)
+  /// and warmup-derived log/seen-set initialization.
+  Status PrepareReplicas(const Dataset& warmup, const ChronoSplit& split,
+                         const TrainerOptions* fit);
+  void InitLogFromWarmup(const Dataset& warmup);
+  /// Clamp + novel-id accounting + log append for one validated edge.
+  /// Returns the post-clamp edge (what the WAL records).
+  TemporalEdge AppendEdgeToLog(TemporalEdge e);
+  /// Quiesced-state checkpoint + WAL rotation (apply thread / recovery
+  /// path only; both replicas must be identical at the published W).
+  void WriteServiceCheckpoint();
+  void NoteWalError();
+  void MirrorWalFsyncs();
 
   SplashOptions model_opts_;
   SplashServiceOptions opts_;
@@ -240,6 +318,22 @@ class SplashService {
   std::vector<uint8_t> node_seen_;             // novel-id tracking
   std::vector<uint64_t> batch_bounds_;         // record_apply_log
   std::vector<std::pair<uint64_t, std::vector<PropertyQuery>>> train_log_;
+
+  // Durability state (apply-thread-owned except the atomics).
+  bool durable_ = false;
+  WalWriter wal_;
+  WalRecord wal_rec_;                  // reused append scratch
+  ByteWriter ckpt_state_scratch_;      // predictor blob for checkpoints
+  uint64_t wal_batch_index_ = 0;       // next record's batch_index
+  uint64_t wal_fsyncs_base_ = 0;       // per-segment fsync count mirrored
+  uint64_t batches_since_checkpoint_ = 0;
+  uint64_t recovered_seq_ = 0;
+  bool recovered_from_checkpoint_ = false;
+  std::atomic<bool> degraded_{false};
+  // Replay target during recovery: snapshots below it answer degraded.
+  std::atomic<uint64_t> recovery_target_seq_{0};
+  std::atomic<uint64_t> wal_records_{0}, wal_fsyncs_{0}, wal_io_errors_{0};
+  std::atomic<uint64_t> checkpoints_written_{0}, recovery_replayed_{0};
 };
 
 /// A reader handle: owns the per-thread query scratch and the per-client
@@ -254,14 +348,28 @@ class ServeClient {
   ServeClient& operator=(const ServeClient&) = delete;
 
   /// Scores a batch of property queries against the current snapshot.
-  ServeResponse Predict(const std::vector<PropertyQuery>& queries);
+  /// `timeout_s` > 0 sets a per-call deadline: the answer is always
+  /// computed (queries never block on ingest, so there is nothing to
+  /// cancel), but `deadline_exceeded` is set when the call overran it.
+  ServeResponse Predict(const std::vector<PropertyQuery>& queries,
+                        double timeout_s = 0.0);
 
   /// Scores one node; `score` = class-1 margin (scores(0,1) - scores(0,0)).
-  ServeResponse PredictNode(NodeId node, double time);
+  ServeResponse PredictNode(NodeId node, double time, double timeout_s = 0.0);
 
   /// Scores an edge as max of its endpoints' class-1 margins (the
   /// service-level anomaly score; both endpoints share one snapshot).
-  ServeResponse ScoreEdge(NodeId src, NodeId dst, double time);
+  ServeResponse ScoreEdge(NodeId src, NodeId dst, double time,
+                          double timeout_s = 0.0);
+
+  /// Bounded retry-with-backoff around IngestEdge for kBlock-mode bursts:
+  /// retries a rejected push up to `max_attempts` times, sleeping
+  /// `initial_backoff_s` doubled per attempt (capped at 100ms). Returns
+  /// false once attempts are exhausted or the service stopped — the
+  /// boundary-validation rejections (invalid id, non-finite time) are
+  /// never retried; they cannot succeed.
+  bool IngestEdgeWithRetry(const TemporalEdge& e, int max_attempts = 4,
+                           double initial_backoff_s = 0.0005);
 
  private:
   friend class SplashService;

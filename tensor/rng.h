@@ -74,6 +74,30 @@ class Rng {
     for (size_t i = 0; i < n; ++i) p[i] = stddev * Gaussian();
   }
 
+  /// Complete generator state — the xoshiro words plus the Box-Muller
+  /// cache — for checkpoint/restore. A restored Rng continues the exact
+  /// draw sequence of the saved one (the recovery oracle depends on the
+  /// dropout stream resuming bit-identically).
+  struct State {
+    uint64_t s[4];
+    float cached;
+    bool has_cached;
+  };
+
+  State SaveState() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.cached = cached_;
+    st.has_cached = has_cached_;
+    return st;
+  }
+
+  void LoadState(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_ = st.cached;
+    has_cached_ = st.has_cached;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

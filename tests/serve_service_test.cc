@@ -249,6 +249,50 @@ TEST_F(ServeServiceTest, DropNewestBackpressureCountsAndStaysConsistent) {
   // Published state reflects exactly the accepted prefix.
   EXPECT_EQ(st.counters.published_seq, accepted);
   EXPECT_EQ(service.ingest_log().size(), accepted);
+  // The burst must have filled the queue to its bound — the high
+  // watermark proves the drops were backpressure, not a bug.
+  EXPECT_EQ(st.counters.queue_high_watermark, 2u);
+}
+
+TEST_F(ServeServiceTest, DeadlineFlagRetryHelperAndNonDurableDefaults) {
+  const Dataset ds = MakeWarmup(1200);
+  const ChronoSplit split = MakeChronoSplit(ds.stream, 0.15, 0.3);
+  SplashServiceOptions sopts;
+  SplashService service(SmallModelOptions(), sopts);
+  ASSERT_TRUE(service.Start(ds, split, nullptr).ok());
+  ServeClient client(&service);
+  const double t = ds.stream.max_time();
+
+  // A zero timeout means "no deadline"; an impossible one must flag the
+  // overrun while still returning the (computed) answer.
+  ServeResponse none = client.PredictNode(1, t);
+  EXPECT_FALSE(none.deadline_exceeded);
+  ServeResponse generous = client.PredictNode(1, t, /*timeout_s=*/30.0);
+  EXPECT_FALSE(generous.deadline_exceeded);
+  ServeResponse tight = client.ScoreEdge(1, 2, t, /*timeout_s=*/1e-12);
+  EXPECT_TRUE(tight.deadline_exceeded);
+  EXPECT_EQ(tight.scores.rows(), 2u) << "late answer must still be returned";
+
+  // Non-durable service: the degraded flag can never be set.
+  EXPECT_FALSE(service.degraded());
+  EXPECT_FALSE(none.degraded);
+  EXPECT_FALSE(service.Stats().counters.degraded);
+
+  // Retry helper: boundary-invalid edges are rejected without retrying
+  // (they can never succeed); valid edges pass through.
+  EXPECT_FALSE(client.IngestEdgeWithRetry(
+      TemporalEdge(1, 2, std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(client.IngestEdgeWithRetry(TemporalEdge(1, 2, t)));
+  service.Flush();
+  EXPECT_EQ(service.published_seq(), 1u);
+  service.Stop();
+
+  // Stopped service: attempts are bounded — this returns, it never spins.
+  EXPECT_FALSE(client.IngestEdgeWithRetry(TemporalEdge(1, 2, t),
+                                          /*max_attempts=*/3,
+                                          /*initial_backoff_s=*/1e-4));
+  const ServeStats st = service.Stats();
+  EXPECT_EQ(st.counters.ingest_accepted, 1u);
 }
 
 TEST_F(ServeServiceTest, DriftCountersAndLatencyHistogramsMove) {
