@@ -47,6 +47,7 @@
 #include "runtime/thread_pool.h"
 #include "serve/service.h"
 #include "tensor/rng.h"
+#include "tensor/simd.h"
 
 namespace splash {
 namespace {
@@ -58,13 +59,19 @@ uint64_t ProcessCpuNs() {
          static_cast<uint64_t>(ts.tv_nsec);
 }
 
-SplashOptions LoadModelOptions() {
+/// `wide` picks the serving-realistic model for the coalescing sweeps: the
+/// hidden-layer GEMM dominates per-query cost, and its row count is the
+/// batch size — a lone query pays the full 8-row register-tile cost of the
+/// SIMD micro-kernels, so coalesced batches are where the wide backends
+/// reach their GEMM-shaped sweet spot (DESIGN.md §5b). The tiny default
+/// stays pinned for the CI gate row.
+SplashOptions LoadModelOptions(bool wide) {
   SplashOptions opts;
   opts.mode = SplashMode::kForceStructural;  // no selection pass
-  opts.augment.feature_dim = 16;
-  opts.slim.hidden_dim = 32;
-  opts.slim.time_dim = 8;
-  opts.slim.k_recent = 5;
+  opts.augment.feature_dim = wide ? 64 : 16;
+  opts.slim.hidden_dim = wide ? 1024 : 32;
+  opts.slim.time_dim = wide ? 16 : 8;
+  opts.slim.k_recent = wide ? 10 : 5;
   opts.slim.dropout = 0.0f;
   opts.seed = 9;
   return opts;
@@ -76,6 +83,12 @@ struct RowResult {
   double real_ns_per_op = 0.0;
   double cpu_ns_per_op = 0.0;
   double ops_per_sec = 0.0;
+  // Per-row run config, stamped from what actually ran (the dispatched
+  // kernel table, not the requested one): check_bench_regression.py
+  // refuses unlike-config comparisons on serve rows.
+  std::string kernel_backend;
+  std::string wal_mode = "off";
+  std::string model = "none";
   ServeStats stats;
   bool has_stats = false;
 };
@@ -87,6 +100,15 @@ struct LoadConfig {
   size_t ops = 20000;
   double open_loop_rate = 0.0;  // > 0: paced arrivals per second
   uint64_t seed = 1234;
+  /// Read-path query coalescing (DESIGN.md §5b). Off pins the per-query
+  /// path — the BM_PredictPerQuery baseline of the coalescing speedup.
+  bool coalesce = true;
+  /// Serving-realistic model dims (see LoadModelOptions).
+  bool wide_model = false;
+  /// Gather-window override; < 0 keeps the service default. The
+  /// inflight-aware early break makes a generous window safe: it is only
+  /// ever spent while in-flight callers are still en route to the ring.
+  double linger_s = -1.0;
   /// "" = no durability; "none"/"batch"/"always" = durable service (WAL +
   /// checkpoints in a throwaway dir) with that fsync policy — the
   /// durability-overhead row of BENCH_serve.json.
@@ -105,6 +127,8 @@ RowResult RunScenario(const LoadConfig& cfg, const Dataset& warmup,
   sopts.queue_capacity = 8192;
   sopts.backpressure = BackpressurePolicy::kBlock;
   sopts.train_on_ingest_labels = false;
+  sopts.coalesce_max_batch = cfg.coalesce ? 32 : 1;
+  if (cfg.linger_s >= 0.0) sopts.coalesce_max_linger_s = cfg.linger_s;
   std::string wal_dir;
   if (!cfg.wal.empty()) {
     char tmpl[] = "/tmp/splash_bench_wal_XXXXXX";
@@ -120,7 +144,7 @@ RowResult RunScenario(const LoadConfig& cfg, const Dataset& warmup,
     sopts.wal_group_records = 8;
     sopts.checkpoint_interval_batches = 256;
   }
-  SplashService service(LoadModelOptions(), sopts);
+  SplashService service(LoadModelOptions(cfg.wide_model), sopts);
   TrainerOptions fit;
   fit.epochs = 1;
   fit.batch_size = 256;
@@ -137,14 +161,22 @@ RowResult RunScenario(const LoadConfig& cfg, const Dataset& warmup,
   }
 
   std::atomic<size_t> edge_cursor{0};
+  std::atomic<size_t> op_cursor{0};
   const NodeId node_span = static_cast<NodeId>(warmup.stream.num_nodes());
   const double query_time = live.empty() ? 0.0 : live.back().time + 1.0;
 
-  auto driver = [&](size_t tid, size_t ops) {
+  // Drivers claim ops from a shared pool rather than fixed per-thread
+  // quotas: all threads stay active until the pool drains, so a multi-
+  // reader row measures the steady concurrent regime instead of ending
+  // with one straggler thread serially draining its private quota.
+  auto driver = [&](size_t tid) {
     ServeClient client(&service);
+    ServeResponse resp;  // reused: the into-API keeps steady state alloc-free
     Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + tid);
     const auto start = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < ops; ++i) {
+    for (;;) {
+      const size_t i = op_cursor.fetch_add(1);
+      if (i >= cfg.ops) break;
       if (cfg.open_loop_rate > 0.0) {
         // Paced arrivals: absolute schedule so service latency cannot
         // slow the offered load (open-loop discipline).
@@ -165,18 +197,17 @@ RowResult RunScenario(const LoadConfig& cfg, const Dataset& warmup,
         // Pool exhausted: fall through to a query so the op count holds.
       }
       const NodeId node = static_cast<NodeId>(rng.UniformInt(node_span));
-      (void)client.PredictNode(node, query_time);
+      client.PredictNode(node, query_time, &resp);
     }
   };
 
-  const size_t per_thread = cfg.ops / cfg.driver_threads;
   const uint64_t cpu0 = ProcessCpuNs();
   WallTimer wall;
   std::vector<std::thread> threads;
   for (size_t t = 1; t < cfg.driver_threads; ++t) {
-    threads.emplace_back(driver, t, per_thread);
+    threads.emplace_back(driver, t);
   }
-  driver(0, per_thread);
+  driver(0);
   for (std::thread& t : threads) t.join();
   service.Flush();
   const double wall_s = wall.Seconds();
@@ -189,7 +220,10 @@ RowResult RunScenario(const LoadConfig& cfg, const Dataset& warmup,
 
   RowResult row;
   row.name = cfg.name;
-  row.iterations = per_thread * cfg.driver_threads;
+  row.kernel_backend = KernelBackendName();
+  row.wal_mode = cfg.wal.empty() ? "off" : cfg.wal;
+  row.model = cfg.wide_model ? "fd64h1024t16k10" : "fd16h32t8k5";
+  row.iterations = cfg.ops;
   row.real_ns_per_op = wall_s * 1e9 / static_cast<double>(row.iterations);
   row.cpu_ns_per_op =
       static_cast<double>(cpu_ns) / static_cast<double>(row.iterations);
@@ -221,6 +255,7 @@ RowResult RunCalibration() {
   if (acc == 42) std::printf("!\n");  // keep the chain alive
   RowResult row;
   row.name = "BM_ServeCalibrate";
+  row.kernel_backend = KernelBackendName();
   row.iterations = kIters;
   row.real_ns_per_op = wall_s * 1e9 / static_cast<double>(kIters);
   row.cpu_ns_per_op = static_cast<double>(cpu_ns) / static_cast<double>(kIters);
@@ -253,9 +288,14 @@ void WriteJson(const std::string& path,
                  "      \"real_time\": %.4f,\n"
                  "      \"cpu_time\": %.4f,\n"
                  "      \"time_unit\": \"ns\",\n"
-                 "      \"ops_per_sec\": %.2f",
+                 "      \"ops_per_sec\": %.2f,\n"
+                 "      \"kernel_backend\": \"%s\",\n"
+                 "      \"wal_mode\": \"%s\",\n"
+                 "      \"model\": \"%s\"",
                  r.name.c_str(), r.name.c_str(), r.iterations,
-                 r.real_ns_per_op, r.cpu_ns_per_op, r.ops_per_sec);
+                 r.real_ns_per_op, r.cpu_ns_per_op, r.ops_per_sec,
+                 r.kernel_backend.c_str(), r.wal_mode.c_str(),
+                 r.model.c_str());
     if (r.has_stats) {
       std::fprintf(
           f,
@@ -272,7 +312,10 @@ void WriteJson(const std::string& path,
           "      \"batches_applied\": %" PRIu64 ",\n"
           "      \"wal_records\": %" PRIu64 ",\n"
           "      \"wal_fsyncs\": %" PRIu64 ",\n"
-          "      \"checkpoints_written\": %" PRIu64,
+          "      \"checkpoints_written\": %" PRIu64 ",\n"
+          "      \"coalesced_groups\": %" PRIu64 ",\n"
+          "      \"coalesced_callers\": %" PRIu64 ",\n"
+          "      \"direct_calls\": %" PRIu64,
           r.stats.predict.p50_ns, r.stats.predict.p99_ns,
           r.stats.predict.p999_ns, r.stats.ingest.p99_ns,
           r.stats.apply.p99_ns, r.stats.counters.queries,
@@ -280,7 +323,9 @@ void WriteJson(const std::string& path,
           r.stats.counters.published_seq,
           r.stats.counters.unseen_node_queries,
           r.stats.counters.batches_applied, r.stats.counters.wal_records,
-          r.stats.counters.wal_fsyncs, r.stats.counters.checkpoints_written);
+          r.stats.counters.wal_fsyncs, r.stats.counters.checkpoints_written,
+          r.stats.counters.coalesced_groups, r.stats.counters.coalesced_callers,
+          r.stats.counters.direct_calls);
     }
     std::fprintf(f, "\n    }%s\n", i + 1 < rows.size() ? "," : "");
   }
@@ -405,6 +450,55 @@ int Main(int argc, char** argv) {
                 return a.cpu_ns_per_op < b.cpu_ns_per_op;
               });
     rows.push_back(wreps[1]);
+
+    // Read-path coalescing sweeps (DESIGN.md §5b). Not gated rows — they
+    // document what the coalescer buys on this host: the same pinned 50:50
+    // mix at rising driver counts, then a pure-query reader sweep whose
+    // 16-reader point is compared against the per-query (coalescing off)
+    // baseline below.
+    for (const size_t t : {1, 8, 32}) {
+      LoadConfig cc = c;
+      cc.name = "BM_ServeSmokeMixed/coalesce:" + std::to_string(t);
+      cc.driver_threads = t;
+      cc.seed = 77 + t;
+      rows.push_back(RunScenario(cc, ds, split, live));
+    }
+    // Pure-query reader sweeps on the serving-realistic wide model, where
+    // per-query compute is deep enough for batch-GEMM amortization to beat
+    // the wake-up tax. The 16-reader point pairs with the per-query
+    // (coalescing off) baseline below: that ratio is the coalescing
+    // speedup this host delivers. Fewer ops than the gate row: each wide
+    // query costs ~100x a tiny one, and these rows are speedup probes,
+    // not the regression gate.
+    constexpr size_t kWideOps = 6000;
+    double coalesced16_cpu = 0.0;
+    for (const size_t t : {1, 4, 16, 64}) {
+      LoadConfig cq;
+      cq.name = "BM_PredictCoalesced/" + std::to_string(t);
+      cq.ingest_frac = 0.0;
+      cq.driver_threads = t;
+      cq.ops = kWideOps;
+      cq.seed = 900 + t;
+      cq.wide_model = true;
+      cq.linger_s = 200e-6;  // covers the post-group wake/resubmit phase
+      rows.push_back(RunScenario(cq, ds, split, live));
+      if (t == 16) coalesced16_cpu = rows.back().cpu_ns_per_op;
+    }
+    {
+      LoadConfig cq;
+      cq.name = "BM_PredictPerQuery/16";
+      cq.ingest_frac = 0.0;
+      cq.driver_threads = 16;
+      cq.ops = kWideOps;
+      cq.seed = 916;
+      cq.coalesce = false;
+      cq.wide_model = true;
+      rows.push_back(RunScenario(cq, ds, split, live));
+      if (coalesced16_cpu > 0.0) {
+        std::printf("\ncoalesce speedup @16 readers (cpu/op): %.2fx\n",
+                    rows.back().cpu_ns_per_op / coalesced16_cpu);
+      }
+    }
   }
   if (!smoke) {
     Dataset ds;

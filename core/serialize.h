@@ -141,7 +141,9 @@ class ByteReader {
       if (n > 0) std::memset(out, 0, n);
       return false;
     }
-    std::memcpy(out, p_ + pos_, n);
+    // n == 0 skips the copy: `out` may be a null data() from an empty
+    // vector, and memcpy's pointer args are declared nonnull (UBSan).
+    if (n > 0) std::memcpy(out, p_ + pos_, n);
     pos_ += n;
     return true;
   }

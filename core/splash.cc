@@ -214,6 +214,13 @@ const Matrix& SplashPredictor::PredictBatchConst(
   return slim_->PredictConst(*batch, &scratch->fwd);
 }
 
+void SplashPredictor::WarmQueryScratch(size_t max_batch,
+                                       SplashQueryScratch* scratch) const {
+  if (max_batch == 0) return;
+  std::vector<PropertyQuery> dummy(max_batch, PropertyQuery{0, 0.0, 0});
+  (void)PredictBatchConst(dummy, scratch);
+}
+
 void SplashPredictor::StageBatch(const std::vector<PropertyQuery>& queries) {
   staged_rows_ = queries.size();
   if (!slim_ || queries.empty()) return;

@@ -14,8 +14,8 @@
 # Kernel backends (DESIGN.md §6): the committed snapshot is pinned to
 # SPLASH_KERNEL=scalar so the regression history stays comparable across
 # hosts and PRs (the scalar backend is the reference codegen). When the
-# host supports the AVX2/FMA backend, a second filtered run records the
-# avx2 cpu_times for the pinned kernel rows and embeds them (plus the
+# host supports the AVX2/FMA or AVX-512 backend, filtered side-runs record
+# their cpu_times for the pinned kernel rows and embed them (plus the
 # speedup ratios) side-by-side in the JSON context — the perf trajectory of
 # the SIMD layer without forking the baseline. The binary itself stamps
 # kernel_backend + cpu_features into the context.
@@ -60,28 +60,32 @@ SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL="${splash_kernel}" \
   --benchmark_context=git_dirty="${git_dirty}" \
   > "${repo_root}/BENCH_micro.json"
 
-# Side-by-side AVX2 capture: when the snapshot above is the scalar baseline
-# and the host can run the avx2 backend, rerun the pinned kernel rows under
-# SPLASH_KERNEL=avx2 and fold their cpu_times + speedups into the context.
-avx2_json="${build_dir}/bench_avx2_side.json"
-if [ "${splash_kernel}" = scalar ]; then
-  SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL=avx2 \
-    "${build_dir}/bench_micro_substrate" \
-    --benchmark_filter='BM_MatMul/|BM_MatMulTransA/|BM_MatMulTransB/|BM_SlimForwardFused/|BM_SlimTrainStepThreads/1' \
-    --benchmark_format=json \
-    --benchmark_repetitions=3 \
-    --benchmark_report_aggregates_only=true \
-    > "${avx2_json}" 2>/dev/null || true
-  python3 - "${repo_root}/BENCH_micro.json" "${avx2_json}" <<'EOF'
+# Side-by-side SIMD captures: when the snapshot above is the scalar
+# baseline and the host can run a SIMD backend, rerun the pinned kernel
+# rows under it and fold their cpu_times + speedups into the context under
+# avx2_*/avx512_* keys. The binary stamps the backend the dispatcher
+# actually resolved, so a host without the ISA (silent fallback) skips the
+# fold instead of poisoning the artifact.
+for side_kernel in avx2 avx512; do
+  side_json="${build_dir}/bench_${side_kernel}_side.json"
+  if [ "${splash_kernel}" = scalar ]; then
+    SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL="${side_kernel}" \
+      "${build_dir}/bench_micro_substrate" \
+      --benchmark_filter='BM_MatMul/|BM_MatMulTransA/|BM_MatMulTransB/|BM_SlimForwardFused/|BM_SlimTrainStepThreads/1' \
+      --benchmark_format=json \
+      --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=true \
+      > "${side_json}" 2>/dev/null || true
+    python3 - "${repo_root}/BENCH_micro.json" "${side_json}" "${side_kernel}" <<'EOF'
 import json, sys
-base_path, avx2_path = sys.argv[1], sys.argv[2]
+base_path, side_path, kernel = sys.argv[1], sys.argv[2], sys.argv[3]
 try:
-    with open(avx2_path) as f:
-        avx2 = json.load(f)
+    with open(side_path) as f:
+        side = json.load(f)
 except (OSError, ValueError):
     sys.exit(0)
-if avx2.get("context", {}).get("kernel_backend") != "avx2":
-    sys.exit(0)  # dispatcher fell back: host cannot run the avx2 backend
+if side.get("context", {}).get("kernel_backend") != kernel:
+    sys.exit(0)  # dispatcher fell back: host cannot run this backend
 with open(base_path) as f:
     base = json.load(f)
 def means(doc):
@@ -90,17 +94,18 @@ def means(doc):
         if row.get("aggregate_name") == "mean":
             out[row.get("run_name", "")] = row.get("cpu_time", 0.0)
     return out
-b, a = means(base), means(avx2)
+b, a = means(base), means(side)
 ctx = base.setdefault("context", {})
 for name, t in sorted(a.items()):
-    ctx["avx2_cpu_ns %s" % name] = "%.1f" % t
+    ctx["%s_cpu_ns %s" % (kernel, name)] = "%.1f" % t
     if name in b and t > 0:
-        ctx["avx2_speedup %s" % name] = "%.2f" % (b[name] / t)
+        ctx["%s_speedup %s" % (kernel, name)] = "%.2f" % (b[name] / t)
 with open(base_path, "w") as f:
     json.dump(base, f, indent=1)
     f.write("\n")
 EOF
-fi
+  fi
+done
 
 # Sanity: the thread-sweep row pairs and the pinned kernel rows must be
 # present, or a gate has silently vanished from the snapshot.
@@ -117,4 +122,5 @@ for row in "BM_SlimTrainStepThreads/1" "BM_SlimTrainStepThreads/4" \
 done
 
 echo "wrote ${repo_root}/BENCH_micro.json (kernel_backend=${splash_kernel}," \
-     "incl. threads=1 vs N pairs and the avx2 side-run context when available)"
+     "incl. threads=1 vs N pairs and the avx2/avx512 side-run context when" \
+     "available)"

@@ -21,7 +21,12 @@ Comparisons are like-for-like per kernel backend: when both files carry a
 `kernel_backend` context entry (bench_micro_substrate stamps it), a
 mismatch fails immediately — scalar baselines must never be diffed against
 avx2 runs or vice versa (CI pins SPLASH_KERNEL=scalar for the gate; the
-avx2 trajectory lives in the baseline's avx2_* context keys instead).
+avx2/avx512 trajectories live in the baseline's avx2_*/avx512_* context
+keys instead). The same refusal applies per row: bench_serve_load stamps
+`kernel_backend`, `wal_mode`, and `model` on every row, and a pinned row
+whose stamped config differs between baseline and current fails the gate
+before any cpu_time is compared — a WAL-on run must never be diffed
+against a WAL-off baseline just because the row name matches.
 
 --self-test exercises the comparator against fabricated data derived from
 the baseline: an identical copy must pass, and a copy with one pinned row
@@ -68,6 +73,22 @@ PRESETS = {
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# Per-row configuration stamps (bench_serve_load writes all three on every
+# row). A pinned row is only comparable when every stamp both sides carry
+# agrees; a missing stamp (older baselines, other binaries) is not checked.
+_ROW_CONFIG_KEYS = ("kernel_backend", "wal_mode", "model")
+
+
+def load_row_configs(doc):
+    """Maps run_name -> {config key: value} for stamped rows."""
+    configs = {}
+    for row in doc.get("benchmarks", []):
+        run_name = row.get("run_name", row.get("name", ""))
+        cfg = {k: str(row[k]) for k in _ROW_CONFIG_KEYS if k in row}
+        if cfg and run_name not in configs:
+            configs[run_name] = cfg
+    return configs
+
 
 def load_cpu_times(doc):
     """Maps run_name -> cpu_time in ns, preferring mean aggregates."""
@@ -105,6 +126,8 @@ def compare(baseline, current, rows, max_regress, calibrate=None):
         ]
     base = load_cpu_times(baseline)
     cur = load_cpu_times(current)
+    base_cfg = load_row_configs(baseline)
+    cur_cfg = load_row_configs(current)
     ok = True
     lines = []
     scale = 1.0
@@ -124,6 +147,18 @@ def compare(baseline, current, rows, max_regress, calibrate=None):
             where = "baseline" if row not in base else "current run"
             lines.append("%-36s missing from %s: FAIL (the gate row "
                          "vanished)" % (row, where))
+            ok = False
+            continue
+        mismatched = [
+            "%s baseline=%s current=%s" %
+            (key, base_cfg.get(row, {})[key], cur_cfg.get(row, {})[key])
+            for key in _ROW_CONFIG_KEYS
+            if key in base_cfg.get(row, {}) and key in cur_cfg.get(row, {})
+            and base_cfg[row][key] != cur_cfg[row][key]
+        ]
+        if mismatched:
+            lines.append("%-36s config mismatch (%s): FAIL (unlike-config "
+                         "comparison refused)" % (row, "; ".join(mismatched)))
             ok = False
             continue
         scaled = cur[row] * scale
@@ -162,6 +197,25 @@ def self_test(baseline, rows, max_regress, calibrate):
         print("self-test FAILED: +%d%% hand-slowed row passed the gate" %
               round(200 * max_regress), file=sys.stderr)
         return False
+
+    # When the baseline stamps per-row config, flipping one stamp must be
+    # refused even with identical cpu_times.
+    if target in load_row_configs(baseline):
+        flipped = copy.deepcopy(baseline)
+        for row in flipped.get("benchmarks", []):
+            if row.get("run_name", row.get("name", "")) == target:
+                for key in _ROW_CONFIG_KEYS:
+                    if key in row:
+                        row[key] = str(row[key]) + "-flipped"
+        ok_flipped, _ = compare(baseline, flipped, rows, max_regress,
+                                calibrate)
+        if ok_flipped:
+            print("self-test FAILED: unlike-config row passed the gate",
+                  file=sys.stderr)
+            return False
+        print("self-test passed: identical run ok, hand-slowed row and "
+              "unlike-config row rejected")
+        return True
     print("self-test passed: identical run ok, hand-slowed row rejected")
     return True
 

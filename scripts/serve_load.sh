@@ -43,44 +43,57 @@ SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL="${splash_kernel}" \
   --context git_sha="${git_sha}" \
   --context git_dirty="${git_dirty}"
 
-# Side-by-side AVX2 capture (mirrors scripts/bench.sh): when the snapshot
-# above is the scalar baseline, rerun the pinned smoke row under
-# SPLASH_KERNEL=avx2 and fold its cpu_time + speedup into the context —
-# the committed artifact for the SIMD layer's effect on the serve path.
-avx2_json="${build_dir}/serve_avx2_side.json"
-if [ "${splash_kernel}" = scalar ]; then
-  SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL=avx2 \
-    "${build_dir}/bench_serve_load" --smoke \
-    --json "${avx2_json}" \
-    --context kernel_backend=avx2 2>/dev/null || true
-  python3 - "${repo_root}/BENCH_serve.json" "${avx2_json}" <<'EOF'
+# Side-by-side SIMD captures (mirrors scripts/bench.sh): when the snapshot
+# above is the scalar baseline, rerun the pinned smoke row under each SIMD
+# backend and fold its cpu_time + speedup into the context — the committed
+# artifact for the SIMD layer's effect on the serve path. The per-row
+# kernel_backend stamp (what the dispatcher actually resolved) guards the
+# fold: a host without the ISA silently falls back, and folding that run
+# as "avx512" would poison the artifact.
+for side_kernel in avx2 avx512; do
+  side_json="${build_dir}/serve_${side_kernel}_side.json"
+  if [ "${splash_kernel}" = scalar ]; then
+    SPLASH_THREADS="${splash_threads}" SPLASH_KERNEL="${side_kernel}" \
+      "${build_dir}/bench_serve_load" --smoke \
+      --json "${side_json}" \
+      --context kernel_backend="${side_kernel}" 2>/dev/null || true
+    python3 - "${repo_root}/BENCH_serve.json" "${side_json}" "${side_kernel}" <<'EOF'
 import json, sys
-base_path, avx2_path = sys.argv[1], sys.argv[2]
+base_path, side_path, kernel = sys.argv[1], sys.argv[2], sys.argv[3]
 try:
-    with open(avx2_path) as f:
-        avx2 = json.load(f)
+    with open(side_path) as f:
+        side = json.load(f)
 except (OSError, ValueError):
     sys.exit(0)
-def cpu(doc, name):
-    for row in doc.get("benchmarks", []):
-        if row.get("name") == name:
-            return row.get("cpu_time", 0.0)
-    return 0.0
-t = cpu(avx2, "BM_ServeSmokeMixed")
-if t <= 0:
+def row(doc, name):
+    for r in doc.get("benchmarks", []):
+        if r.get("name") == name:
+            return r
+    return {}
+smoke = row(side, "BM_ServeSmokeMixed")
+t = smoke.get("cpu_time", 0.0)
+# Dispatch guard: the binary stamps the backend that actually ran.
+if t <= 0 or smoke.get("kernel_backend", kernel) != kernel:
     sys.exit(0)
 with open(base_path) as f:
     base = json.load(f)
-b = cpu(base, "BM_ServeSmokeMixed")
+b = row(base, "BM_ServeSmokeMixed").get("cpu_time", 0.0)
 ctx = base.setdefault("context", {})
-ctx["avx2_cpu_ns BM_ServeSmokeMixed"] = "%.1f" % t
+ctx["%s_cpu_ns BM_ServeSmokeMixed" % kernel] = "%.1f" % t
 if b > 0:
-    ctx["avx2_speedup BM_ServeSmokeMixed"] = "%.2f" % (b / t)
+    ctx["%s_speedup BM_ServeSmokeMixed" % kernel] = "%.2f" % (b / t)
+# Read-path coalescing speedup on this backend: the wide-model 16-reader
+# coalesced row vs its per-query twin (DESIGN.md §5b).
+per = row(side, "BM_PredictPerQuery/16").get("cpu_time", 0.0)
+coal = row(side, "BM_PredictCoalesced/16").get("cpu_time", 0.0)
+if per > 0 and coal > 0:
+    ctx["%s_coalesce_speedup16" % kernel] = "%.2f" % (per / coal)
 with open(base_path, "w") as f:
     json.dump(base, f, indent=1)
     f.write("\n")
 EOF
-fi
+  fi
+done
 
 # Sanity: the gate rows must be present, or the serve regression gate has
 # silently vanished from the snapshot.

@@ -1,0 +1,151 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+
+#include "serve/coalescer.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "eval/timing.h"
+
+namespace splash {
+
+QueryCoalescer::QueryCoalescer(const CoalesceOptions& opts, ExecuteFn fn,
+                               void* ctx)
+    : opts_(opts), fn_(fn), ctx_(ctx) {
+  ring_.resize(std::max<size_t>(opts_.ring_slots, 1), nullptr);
+  batch_.resize(std::max<size_t>(std::min(opts_.max_batch, ring_.size()), 1),
+                nullptr);
+}
+
+bool QueryCoalescer::Submit(QuerySlot* slot) {
+  const uint32_t prev = inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (opts_.max_batch <= 1 ||
+      (prev == 0 && !hot_.load(std::memory_order_relaxed))) {
+    // Uncontended (or coalescing disabled): the caller runs the per-query
+    // path itself and closes with EndDirect(). While hot_ — the last group
+    // combined real contention — a momentary prev==0 is most likely the
+    // first waiter resubmitting after a group wake-up, so it enqueues and
+    // leads the next group instead of straggling through a direct call.
+    direct_calls_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  bool lead = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (size_ >= ring_.size()) {
+      ring_full_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      direct_calls_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    ring_[(head_ + size_) % ring_.size()] = slot;
+    ++size_;
+    if (!leader_active_) {
+      leader_active_ = true;
+      lead = true;
+    }
+  }
+  if (lead) {
+    LeadRounds();  // drains the ring; our own slot is answered on the way
+  } else {
+    // Short spin keeps the common case (leader finishes within a few µs)
+    // off the futex; the condvar bounds the cost on an oversubscribed
+    // single-core host instead of burning cpu_time in a hot loop.
+    for (int spin = 0; spin < 256; ++spin) {
+      if (slot->done.load(std::memory_order_acquire)) break;
+    }
+    if (!slot->done.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [slot] {
+        return slot->done.load(std::memory_order_acquire);
+      });
+    }
+  }
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void QueryCoalescer::EndDirect() {
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void QueryCoalescer::LeadRounds() {
+  for (;;) {
+    {
+      // A drained ring retires the leader BEFORE the gather window, not
+      // after: otherwise every group costs one trailing empty linger and
+      // the leader returns a full window late.
+      std::lock_guard<std::mutex> lk(mu_);
+      if (size_ == 0) {
+        leader_active_ = false;
+        return;
+      }
+    }
+    // Gather window: give concurrently arriving callers a chance to join
+    // this round. Cut short the moment a full batch is queued, or once
+    // arrivals dry up for a grace fraction of the window — so a generous
+    // max_linger_s is only ever spent while joiners are actually en route
+    // (e.g. waiters of the previous group resubmitting after wake-up),
+    // never as dead time after the burst is over.
+    if (opts_.max_linger_s > 0.0) {
+      WallTimer timer;
+      const double grace_s = opts_.max_linger_s / 8.0;
+      size_t last_size = 0;
+      double last_change_s = 0.0;
+      for (;;) {
+        bool full;
+        size_t cur;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          cur = size_;
+          full = cur >= batch_.size();
+        }
+        if (full) break;
+        const double now_s = timer.Seconds();
+        if (cur != last_size) {
+          last_size = cur;
+          last_change_s = now_s;
+        } else if (now_s - last_change_s >= grace_s) {
+          break;  // no new arrival for a grace period: the burst is over
+        }
+        if (now_s >= opts_.max_linger_s) break;
+        // Without the yield a tight lock/unlock spin can re-acquire mu_
+        // before a woken pusher ever runs (lock starvation on a saturated
+        // core), turning the gather window into dead time.
+        std::this_thread::yield();
+      }
+    }
+    size_t n = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      n = std::min(size_, batch_.size());
+      if (n == 0) {
+        // Ring drained: retire the leader role before releasing mu_ so the
+        // next contended caller can take over.
+        leader_active_ = false;
+        return;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        batch_[i] = ring_[(head_ + i) % ring_.size()];
+      }
+      head_ = (head_ + n) % ring_.size();
+      size_ -= n;
+      // A round that gathered real contention keeps bypass suppression on;
+      // a leader that rounded up only itself proves the burst is over.
+      hot_.store(n >= 2, std::memory_order_relaxed);
+    }
+    fn_(ctx_, batch_.data(), n);
+    groups_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_callers_.fetch_add(n, std::memory_order_relaxed);
+    {
+      // done stores go under mu_ so a waiter that just evaluated its wait
+      // predicate cannot miss the notify (classic lost-wakeup window).
+      std::lock_guard<std::mutex> lk(mu_);
+      for (size_t i = 0; i < n; ++i) {
+        batch_[i]->done.store(true, std::memory_order_release);
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace splash

@@ -1,0 +1,133 @@
+// Copyright 2026 The SPLASH Reproduction Authors.
+//
+// Read-path query micro-batching (DESIGN.md §5b), mirroring the ingest
+// micro-batcher one layer down the stack: concurrent ServeClient callers
+// enqueue into a bounded slot ring, one of them is elected leader, and the
+// leader pins the snapshot ONCE for the whole group, runs the fused batch
+// forward over the combined query matrix, and scatters rows + the common
+// watermark back to the waiters.
+//
+// Flat-combining protocol:
+//   - An in-flight counter gives the uncontended bypass: the first caller
+//     in (previous count 0) runs the per-query path directly, so a lone
+//     caller's p50 never pays ring/condvar overhead — and stays
+//     allocation-free (tests/serve_coalesce_test.cc pins this).
+//   - Contended callers push a stack-allocated slot into the FIFO ring.
+//     The pusher that finds no active leader becomes the leader; everyone
+//     else waits (short spin, then condvar) for slot.done.
+//   - The leader lingers up to max_linger_s (cut short once the ring holds
+//     a full batch, or once every in-flight caller is already queued), pops
+//     up to max_batch slots in arrival order — FIFO, so no waiter can
+//     starve — executes the group through the callback, and keeps draining
+//     rounds until the ring is empty before retiring.
+//   - A full ring falls back to the direct path rather than blocking.
+//   - A hot flag remembers whether the last group combined >= 2 callers:
+//     while hot, even a momentarily-uncontended caller enqueues (and leads)
+//     instead of bypassing, so the first waiter to resubmit after a group
+//     wake-up gathers the next group rather than straggling through a slow
+//     per-query call. A leader that rounds up only itself clears the flag,
+//     restoring the lone-caller bypass after one cheap batch-of-1 round.
+//
+// The callback owns snapshot pinning and result scatter; the coalescer is
+// pure scheduling and knows nothing about predictors. Per-caller concerns
+// (deadline flags, latency histograms) stay with the caller: it re-checks
+// its own deadline and records its own latency after Submit returns.
+
+#ifndef SPLASH_SERVE_COALESCER_H_
+#define SPLASH_SERVE_COALESCER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+
+namespace splash {
+
+struct ServeResponse;
+
+struct CoalesceOptions {
+  /// Max callers combined into one leader execution. <= 1 disables
+  /// coalescing entirely (every caller takes the direct path).
+  size_t max_batch = 32;
+  /// Leader gather window once contention is detected; keep it a few µs.
+  /// 0 executes whatever is queued immediately.
+  double max_linger_s = 2e-6;
+  /// Slot-ring capacity; a full ring falls back to the direct path.
+  size_t ring_slots = 256;
+};
+
+/// One waiting caller. Lives on the caller's stack for the duration of
+/// Submit; the leader only touches it before the done store.
+struct QuerySlot {
+  const std::vector<PropertyQuery>* queries = nullptr;
+  ServeResponse* resp = nullptr;
+  std::atomic<bool> done{false};
+};
+
+class QueryCoalescer {
+ public:
+  /// Executes one coalesced group: pin once, batch-predict, scatter into
+  /// each slot's resp. Must not throw.
+  using ExecuteFn = void (*)(void* ctx, QuerySlot* const* slots, size_t n);
+
+  QueryCoalescer(const CoalesceOptions& opts, ExecuteFn fn, void* ctx);
+
+  /// Entry point for a caller holding a filled slot (queries/resp set,
+  /// done false). Returns true when the slot was answered by a coalesced
+  /// group (this caller may have been the leader). Returns false when the
+  /// caller should run the per-query path itself — uncontended bypass,
+  /// coalescing disabled, or ring full — and call EndDirect() when done.
+  bool Submit(QuerySlot* slot);
+
+  /// Closes a direct-path call opened by a false return from Submit.
+  void EndDirect();
+
+  uint64_t groups() const {
+    return groups_.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesced_callers() const {
+    return coalesced_callers_.load(std::memory_order_relaxed);
+  }
+  uint64_t direct_calls() const {
+    return direct_calls_.load(std::memory_order_relaxed);
+  }
+  uint64_t ring_full_fallbacks() const {
+    return ring_full_fallbacks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void LeadRounds();
+
+  const CoalesceOptions opts_;
+  const ExecuteFn fn_;
+  void* const ctx_;
+
+  /// Callers currently inside Submit..EndDirect / Submit-coalesced. The
+  /// fetch_add observing 0 is the uncontended-bypass test.
+  std::atomic<uint32_t> inflight_{0};
+
+  /// True after a group of >= 2; suppresses the prev==0 bypass so the
+  /// post-group resubmission race re-forms a group instead of straggling.
+  std::atomic<bool> hot_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<QuerySlot*> ring_;  // fixed capacity, mu_-guarded FIFO
+  size_t head_ = 0;
+  size_t size_ = 0;
+  bool leader_active_ = false;
+  std::vector<QuerySlot*> batch_;  // leader-only scratch (one leader max)
+
+  std::atomic<uint64_t> groups_{0};
+  std::atomic<uint64_t> coalesced_callers_{0};
+  std::atomic<uint64_t> direct_calls_{0};
+  std::atomic<uint64_t> ring_full_fallbacks_{0};
+};
+
+}  // namespace splash
+
+#endif  // SPLASH_SERVE_COALESCER_H_

@@ -17,11 +17,25 @@
 
 namespace splash {
 
+namespace {
+
+CoalesceOptions MakeCoalesceOptions(const SplashServiceOptions& o) {
+  CoalesceOptions c;
+  c.max_batch = o.coalesce_max_batch;
+  c.max_linger_s = o.coalesce_max_linger_s;
+  c.ring_slots = o.coalesce_ring_slots;
+  return c;
+}
+
+}  // namespace
+
 SplashService::SplashService(const SplashOptions& model_opts,
                              const SplashServiceOptions& opts)
     : model_opts_(model_opts),
       opts_(opts),
-      queue_(opts.queue_capacity, opts.backpressure) {}
+      queue_(opts.queue_capacity, opts.backpressure),
+      coalescer_(MakeCoalesceOptions(opts), &ExecuteCoalescedGroupThunk,
+                 this) {}
 
 SplashService::~SplashService() { Stop(); }
 
@@ -80,6 +94,12 @@ Status SplashService::Start(const Dataset& warmup, const ChronoSplit& split,
   wm_time_[0] = wm_time_[1] = 0.0;
   batch_bounds_.clear();
   train_log_.clear();
+
+  // Pre-grow the coalesced-group scratch so the first full-width group
+  // allocates nothing (PredictNode callers are 1 row each).
+  gather_queries_.reserve(opts_.coalesce_max_batch * 2);
+  replicas_[0]->WarmQueryScratch(opts_.coalesce_max_batch * 2,
+                                 &gather_scratch_);
 
   started_.store(true, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -160,6 +180,10 @@ Status SplashService::RecoverOrStart(const Dataset& warmup,
   }
   recovery_target_seq_.store(next_seq, std::memory_order_relaxed);
   if (gap) degraded_.store(true, std::memory_order_relaxed);
+
+  gather_queries_.reserve(opts_.coalesce_max_batch * 2);
+  replicas_[0]->WarmQueryScratch(opts_.coalesce_max_batch * 2,
+                                 &gather_scratch_);
 
   // Queries may run during replay; they see the advancing snapshots and
   // answer degraded=true until the watermark reaches the replay target.
@@ -512,6 +536,9 @@ ServeStats SplashService::Stats() const {
   st.counters.queries = queries_.load(std::memory_order_relaxed);
   st.counters.unseen_node_queries =
       unseen_node_queries_.load(std::memory_order_relaxed);
+  st.counters.coalesced_groups = coalescer_.groups();
+  st.counters.coalesced_callers = coalescer_.coalesced_callers();
+  st.counters.direct_calls = coalescer_.direct_calls();
   st.counters.novel_ingest_nodes =
       novel_ingest_nodes_.load(std::memory_order_relaxed);
   st.counters.time_regressions =
@@ -575,54 +602,158 @@ ServeClient::~ServeClient() {
   service_->retired_predict_hist_.Merge(predict_hist_);
 }
 
-ServeResponse ServeClient::Predict(const std::vector<PropertyQuery>& queries,
-                                   double timeout_s) {
+// ---------------------------------------------------------------------------
+// Read path (DESIGN.md §5b). Every Predict* call funnels through the
+// into-response overload: uncontended callers take the direct per-query
+// path (pin, fused forward into client scratch, copy out after unpin);
+// contended callers are combined by the QueryCoalescer into one snapshot
+// pin + one fused batch forward, led by one of them. Either way the
+// snapshot critical section holds only replica reads — the score copy-out,
+// deadline check, and latency-histogram record all happen after Unpin.
+// ---------------------------------------------------------------------------
+
+void SplashService::ExecuteCoalescedGroupThunk(void* ctx,
+                                               QuerySlot* const* slots,
+                                               size_t n) {
+  static_cast<SplashService*>(ctx)->ExecuteCoalescedGroup(slots, n);
+}
+
+void SplashService::ExecuteCoalescedGroup(QuerySlot* const* slots, size_t n) {
+  gather_queries_.clear();
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) total += slots[i]->queries->size();
+  gather_queries_.reserve(total);
+  for (size_t i = 0; i < n; ++i) {
+    gather_queries_.insert(gather_queries_.end(), slots[i]->queries->begin(),
+                           slots[i]->queries->end());
+  }
+  const uint32_t idx = gate_.Pin();
+  const SplashPredictor* rep = replicas_[idx].get();
+  const uint64_t wm_seq = wm_seq_[idx];
+  const double wm_time = wm_time_[idx];
+  const Matrix& out = rep->PredictBatchConst(gather_queries_, &gather_scratch_);
+  uint64_t unseen = 0;
+  for (const PropertyQuery& q : gather_queries_) {
+    if (!rep->augmenter().seen(q.node)) ++unseen;
+  }
+  gate_.Unpin(idx);
+  const bool degraded =
+      degraded_.load(std::memory_order_relaxed) ||
+      wm_seq < recovery_target_seq_.load(std::memory_order_relaxed);
+  // Scatter: rows are assembled and scored strictly per-row, so each
+  // caller's slice is bit-identical to what its own per-query call would
+  // have produced against this snapshot (serve_coalesce_test pins this).
+  size_t row = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ServeResponse* resp = slots[i]->resp;
+    const size_t b = slots[i]->queries->size();
+    resp->scores.Resize(b, out.cols());
+    for (size_t bi = 0; bi < b; ++bi) {
+      std::memcpy(resp->scores.Row(bi), out.Row(row + bi),
+                  out.cols() * sizeof(float));
+    }
+    row += b;
+    resp->score = 0.0;
+    resp->watermark_seq = wm_seq;
+    resp->watermark_time = wm_time;
+    resp->degraded = degraded;
+    resp->deadline_exceeded = false;  // each caller re-checks after wakeup
+  }
+  // Service counters once per group, not once per caller.
+  queries_.fetch_add(total, std::memory_order_relaxed);
+  if (unseen > 0) {
+    unseen_node_queries_.fetch_add(unseen, std::memory_order_relaxed);
+  }
+}
+
+void ServeClient::Predict(const std::vector<PropertyQuery>& queries,
+                          ServeResponse* resp, double timeout_s) {
   WallTimer timer;
-  ServeResponse resp;
   SplashService* s = service_;
+  resp->score = 0.0;
+  resp->deadline_exceeded = false;
   // Acquire on started_ is the happens-before edge to the replica
   // pointers: a Predict racing Start() sees false and returns empty
   // rather than reading half-prepared state.
-  if (!s->started_.load(std::memory_order_acquire)) return resp;
-  const uint32_t idx = s->gate_.Pin();
-  const SplashPredictor* rep = s->replicas_[idx].get();
-  resp.watermark_seq = s->wm_seq_[idx];
-  resp.watermark_time = s->wm_time_[idx];
-  resp.scores = rep->PredictBatchConst(queries, &scratch_);
-  uint64_t unseen = 0;
-  for (const PropertyQuery& q : queries) {
-    if (!rep->augmenter().seen(q.node)) ++unseen;
+  if (!s->started_.load(std::memory_order_acquire)) {
+    resp->scores.Resize(0, 0);
+    resp->watermark_seq = 0;
+    resp->watermark_time = 0.0;
+    resp->degraded = false;
+    return;
   }
-  s->gate_.Unpin(idx);
-  // Degraded: a durability error happened, or recovery replay is still
-  // ahead of the snapshot that answered (the answer is honest about its
-  // watermark either way — this flags that a fresher state is known).
-  resp.degraded =
-      s->degraded_.load(std::memory_order_relaxed) ||
-      resp.watermark_seq < s->recovery_target_seq_.load(std::memory_order_relaxed);
-  s->queries_.fetch_add(queries.size(), std::memory_order_relaxed);
-  if (unseen > 0) {
-    s->unseen_node_queries_.fetch_add(unseen, std::memory_order_relaxed);
+  QuerySlot slot;
+  slot.queries = &queries;
+  slot.resp = resp;
+  if (!s->coalescer_.Submit(&slot)) {
+    // Direct path (uncontended / coalescing off / ring full).
+    const uint32_t idx = s->gate_.Pin();
+    const SplashPredictor* rep = s->replicas_[idx].get();
+    resp->watermark_seq = s->wm_seq_[idx];
+    resp->watermark_time = s->wm_time_[idx];
+    const Matrix& out = rep->PredictBatchConst(queries, &scratch_);
+    uint64_t unseen = 0;
+    for (const PropertyQuery& q : queries) {
+      if (!rep->augmenter().seen(q.node)) ++unseen;
+    }
+    s->gate_.Unpin(idx);
+    // The copy-out reads client-owned scratch, so it no longer needs the
+    // pin — the snapshot critical section ends at the last replica read.
+    resp->scores.Resize(out.rows(), out.cols());
+    for (size_t i = 0; i < out.rows(); ++i) {
+      std::memcpy(resp->scores.Row(i), out.Row(i),
+                  out.cols() * sizeof(float));
+    }
+    // Degraded: a durability error happened, or recovery replay is still
+    // ahead of the snapshot that answered (the answer is honest about its
+    // watermark either way — this flags that a fresher state is known).
+    resp->degraded =
+        s->degraded_.load(std::memory_order_relaxed) ||
+        resp->watermark_seq <
+            s->recovery_target_seq_.load(std::memory_order_relaxed);
+    s->queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+    if (unseen > 0) {
+      s->unseen_node_queries_.fetch_add(unseen, std::memory_order_relaxed);
+    }
+    s->coalescer_.EndDirect();
   }
+  // Per-caller epilogue, shared by both paths and outside any pin: the
+  // deadline is re-checked against this caller's own wall clock (a
+  // coalesced caller that lingered past its deadline is answered
+  // late-but-flagged, never dropped), and the latency sample includes the
+  // full wait.
   const uint64_t ns = timer.Nanos();
   if (timeout_s > 0.0 && static_cast<double>(ns) > timeout_s * 1e9) {
-    resp.deadline_exceeded = true;
+    resp->deadline_exceeded = true;
   }
   {
     std::lock_guard<std::mutex> lk(hist_mu_);
     predict_hist_.RecordNs(ns);
   }
+}
+
+ServeResponse ServeClient::Predict(const std::vector<PropertyQuery>& queries,
+                                   double timeout_s) {
+  ServeResponse resp;
+  Predict(queries, &resp, timeout_s);
   return resp;
+}
+
+void ServeClient::PredictNode(NodeId node, double time, ServeResponse* resp,
+                              double timeout_s) {
+  query_scratch_.resize(1);
+  query_scratch_[0] = PropertyQuery{node, time, 0};
+  Predict(query_scratch_, resp, timeout_s);
+  if (resp->scores.rows() == 1 && resp->scores.cols() >= 2) {
+    resp->score =
+        static_cast<double>(resp->scores(0, 1)) - resp->scores(0, 0);
+  }
 }
 
 ServeResponse ServeClient::PredictNode(NodeId node, double time,
                                        double timeout_s) {
-  query_scratch_.resize(1);
-  query_scratch_[0] = PropertyQuery{node, time, 0};
-  ServeResponse resp = Predict(query_scratch_, timeout_s);
-  if (resp.scores.rows() == 1 && resp.scores.cols() >= 2) {
-    resp.score = static_cast<double>(resp.scores(0, 1)) - resp.scores(0, 0);
-  }
+  ServeResponse resp;
+  PredictNode(node, time, &resp, timeout_s);
   return resp;
 }
 
@@ -645,19 +776,25 @@ bool ServeClient::IngestEdgeWithRetry(const TemporalEdge& e, int max_attempts,
   return false;
 }
 
-ServeResponse ServeClient::ScoreEdge(NodeId src, NodeId dst, double time,
-                                     double timeout_s) {
+void ServeClient::ScoreEdge(NodeId src, NodeId dst, double time,
+                            ServeResponse* resp, double timeout_s) {
   query_scratch_.resize(2);
   query_scratch_[0] = PropertyQuery{src, time, 0};
   query_scratch_[1] = PropertyQuery{dst, time, 0};
-  ServeResponse resp = Predict(query_scratch_, timeout_s);
-  if (resp.scores.rows() == 2 && resp.scores.cols() >= 2) {
+  Predict(query_scratch_, resp, timeout_s);
+  if (resp->scores.rows() == 2 && resp->scores.cols() >= 2) {
     const double ms =
-        static_cast<double>(resp.scores(0, 1)) - resp.scores(0, 0);
+        static_cast<double>(resp->scores(0, 1)) - resp->scores(0, 0);
     const double md =
-        static_cast<double>(resp.scores(1, 1)) - resp.scores(1, 0);
-    resp.score = ms > md ? ms : md;
+        static_cast<double>(resp->scores(1, 1)) - resp->scores(1, 0);
+    resp->score = ms > md ? ms : md;
   }
+}
+
+ServeResponse ServeClient::ScoreEdge(NodeId src, NodeId dst, double time,
+                                     double timeout_s) {
+  ServeResponse resp;
+  ScoreEdge(src, dst, time, &resp, timeout_s);
   return resp;
 }
 

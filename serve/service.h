@@ -59,6 +59,7 @@
 #include "eval/trainer.h"
 #include "graph/edge_stream.h"
 #include "runtime/pipeline.h"
+#include "serve/coalescer.h"
 #include "serve/ingest_queue.h"
 #include "serve/snapshot.h"
 #include "serve/wal.h"
@@ -81,6 +82,17 @@ struct SplashServiceOptions {
   /// Test hook: record every applied micro-batch boundary and train batch
   /// so a test can re-apply the exact sequence (the >1-thread oracle).
   bool record_apply_log = false;
+
+  // ---- Read-path query coalescing (DESIGN.md §5b). Mirrors the ingest
+  // micro-batcher: contended Predict* callers are combined into one
+  // snapshot pin + fused batch forward. A lone caller always bypasses
+  // (uncontended p50 is untouched and stays allocation-free).
+  /// Max callers combined per leader round; <= 1 disables coalescing.
+  size_t coalesce_max_batch = 32;
+  /// Leader gather window once contention is detected (a few µs).
+  double coalesce_max_linger_s = 2e-6;
+  /// Waiter-slot ring capacity; a full ring falls back to the direct path.
+  size_t coalesce_ring_slots = 256;
 
   // ---- Durability (DESIGN.md §7). Empty data_dir = no durability: the
   // service behaves exactly as before this layer existed.
@@ -131,6 +143,10 @@ struct ServeCounters {
   uint64_t train_steps = 0;
   uint64_t queries = 0;
   uint64_t unseen_node_queries = 0;  // queried node not in the train seen set
+  // Read-path coalescing (DESIGN.md §5b).
+  uint64_t coalesced_groups = 0;    // leader rounds executed
+  uint64_t coalesced_callers = 0;   // Predict* calls answered via a group
+  uint64_t direct_calls = 0;        // bypass / fallback per-query calls
   uint64_t novel_ingest_nodes = 0;   // ids first observed by the service
   uint64_t time_regressions = 0;     // out-of-order timestamps clamped
   uint64_t published_seq = 0;
@@ -241,6 +257,17 @@ class SplashService {
  private:
   friend class ServeClient;
 
+  /// Leader-side execution of one coalesced read group: gathers every
+  /// slot's queries into one batch, pins the snapshot ONCE, runs the fused
+  /// batch forward with leader-owned scratch, then scatters score rows and
+  /// the common watermark/degraded flag back into each slot's response.
+  /// Service counters are bumped once per group. Exactly one leader runs
+  /// at a time (QueryCoalescer guarantees it), so the gather scratch needs
+  /// no lock.
+  void ExecuteCoalescedGroup(QuerySlot* const* slots, size_t n);
+  static void ExecuteCoalescedGroupThunk(void* ctx, QuerySlot* const* slots,
+                                         size_t n);
+
   void ApplyLoop();
   void ApplyBatchTo(SplashPredictor* rep, size_t edge_begin, size_t edge_end,
                     const std::vector<PropertyQuery>& train);
@@ -269,6 +296,10 @@ class SplashService {
   double wm_time_[2] = {0.0, 0.0};
 
   IngestQueue queue_;
+  QueryCoalescer coalescer_;
+  // Leader-only scratch for coalesced groups (one leader at a time).
+  std::vector<PropertyQuery> gather_queries_;
+  SplashQueryScratch gather_scratch_;
   EdgeStream log_;  // apply-thread-owned append; snapshot reads via bounds
   std::thread apply_thread_;
   PipelineThread pipe_;  // runs the catch-up re-apply of the old front
@@ -351,16 +382,29 @@ class ServeClient {
   /// `timeout_s` > 0 sets a per-call deadline: the answer is always
   /// computed (queries never block on ingest, so there is nothing to
   /// cancel), but `deadline_exceeded` is set when the call overran it.
+  /// Under concurrency the call may be answered by a coalesced group
+  /// (DESIGN.md §5b) — same scores bit-for-bit, one shared snapshot pin.
   ServeResponse Predict(const std::vector<PropertyQuery>& queries,
                         double timeout_s = 0.0);
 
+  /// Same, scoring into a caller-owned response. `resp`'s score matrix is
+  /// grow-only, so reusing one response across calls keeps the steady-state
+  /// single-caller read path allocation-free (the counting-allocator gate
+  /// in tests/serve_coalesce_test.cc pins this).
+  void Predict(const std::vector<PropertyQuery>& queries, ServeResponse* resp,
+               double timeout_s = 0.0);
+
   /// Scores one node; `score` = class-1 margin (scores(0,1) - scores(0,0)).
   ServeResponse PredictNode(NodeId node, double time, double timeout_s = 0.0);
+  void PredictNode(NodeId node, double time, ServeResponse* resp,
+                   double timeout_s = 0.0);
 
   /// Scores an edge as max of its endpoints' class-1 margins (the
   /// service-level anomaly score; both endpoints share one snapshot).
   ServeResponse ScoreEdge(NodeId src, NodeId dst, double time,
                           double timeout_s = 0.0);
+  void ScoreEdge(NodeId src, NodeId dst, double time, ServeResponse* resp,
+                 double timeout_s = 0.0);
 
   /// Bounded retry-with-backoff around IngestEdge for kBlock-mode bursts:
   /// retries a rejected push up to `max_attempts` times, sleeping

@@ -184,10 +184,22 @@ void Avx2MatMulEpilogueRange(const Matrix& a, const Matrix& b, Matrix* c,
     }
     MatMulRowBlock<6>(arows, b, crows, n, k, bias, accumulate, relu);
   }
-  for (; i < r1; ++i) {
-    arows[0] = a.Row(i);
-    crows[0] = c->Row(i);
-    MatMulRowBlock<1>(arows, b, crows, n, k, bias, accumulate, relu);
+  // Row tail as ONE multi-row pass: each pass re-streams all of b, so
+  // per-row tail handling costs ~rem full B streams when b exceeds cache.
+  // Per-row FMA order matches the 6-row block, so results are identical.
+  if (i < r1) {
+    const size_t rem = r1 - i;
+    for (size_t r = 0; r < rem; ++r) {
+      arows[r] = a.Row(i + r);
+      crows[r] = c->Row(i + r);
+    }
+    switch (rem) {
+      case 1: MatMulRowBlock<1>(arows, b, crows, n, k, bias, accumulate, relu); break;
+      case 2: MatMulRowBlock<2>(arows, b, crows, n, k, bias, accumulate, relu); break;
+      case 3: MatMulRowBlock<3>(arows, b, crows, n, k, bias, accumulate, relu); break;
+      case 4: MatMulRowBlock<4>(arows, b, crows, n, k, bias, accumulate, relu); break;
+      default: MatMulRowBlock<5>(arows, b, crows, n, k, bias, accumulate, relu); break;
+    }
   }
 }
 

@@ -18,8 +18,17 @@ namespace {
 std::atomic<const KernelTable*> g_kernels{nullptr};
 
 const KernelTable* TableByName(const char* name) {
+  if (std::strcmp(name, "avx512") == 0) return GetAvx512Kernels();
   if (std::strcmp(name, "avx2") == 0) return GetAvx2Kernels();
   return GetScalarKernels();
+}
+
+const KernelTable* ResolveFromEnvironment() {
+  return TableByName(ResolveKernelChoice(std::getenv("SPLASH_KERNEL"),
+                                         CpuSupportsAvx2Fma(),
+                                         GetAvx2Kernels() != nullptr,
+                                         CpuSupportsAvx512(),
+                                         GetAvx512Kernels() != nullptr));
 }
 
 }  // namespace
@@ -32,22 +41,37 @@ bool CpuSupportsAvx2Fma() {
 #endif
 }
 
+bool CpuSupportsAvx512() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512dq");
+#else
+  return false;
+#endif
+}
+
 std::string CpuFeatureString() {
   std::string s;
 #if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
   if (__builtin_cpu_supports("avx2")) s += "avx2";
   if (__builtin_cpu_supports("fma")) s += s.empty() ? "fma" : "+fma";
   if (__builtin_cpu_supports("avx512f")) s += "+avx512f";
+  if (__builtin_cpu_supports("avx512vl")) s += "+avx512vl";
+  if (__builtin_cpu_supports("avx512dq")) s += "+avx512dq";
 #endif
   if (s.empty()) s = "baseline";
   return s;
 }
 
 const char* ResolveKernelChoice(const char* env, bool cpu_has_avx2,
-                                bool avx2_compiled) {
+                                bool avx2_compiled, bool cpu_has_avx512,
+                                bool avx512_compiled) {
   const bool avx2_ok = cpu_has_avx2 && avx2_compiled;
+  const bool avx512_ok = cpu_has_avx512 && avx512_compiled;
+  const char* best = avx512_ok ? "avx512" : avx2_ok ? "avx2" : "scalar";
   if (env == nullptr || *env == '\0' || std::strcmp(env, "auto") == 0) {
-    return avx2_ok ? "avx2" : "scalar";
+    return best;
   }
   if (std::strcmp(env, "scalar") == 0) return "scalar";
   if (std::strcmp(env, "avx2") == 0) {
@@ -59,20 +83,30 @@ const char* ResolveKernelChoice(const char* env, bool cpu_has_avx2,
                                : "the AVX2 backend was not compiled in");
     return "scalar";
   }
+  if (std::strcmp(env, "avx512") == 0) {
+    if (avx512_ok) return "avx512";
+    const char* fallback = avx2_ok ? "avx2" : "scalar";
+    std::fprintf(
+        stderr,
+        "splash: SPLASH_KERNEL=avx512 but %s; falling back to the %s "
+        "backend\n",
+        avx512_compiled ? "this CPU lacks AVX-512 F/VL/DQ"
+                        : "the AVX-512 backend was not compiled in",
+        fallback);
+    return fallback;
+  }
   std::fprintf(stderr,
                "splash: unknown SPLASH_KERNEL value '%s' (want scalar, "
-               "avx2, or auto); using auto\n",
+               "avx2, avx512, or auto); using auto\n",
                env);
-  return avx2_ok ? "avx2" : "scalar";
+  return best;
 }
 
 const KernelTable& Kernels() {
   const KernelTable* t = g_kernels.load(std::memory_order_acquire);
   if (t == nullptr) {
     // Benign race: concurrent first callers resolve to the same table.
-    t = TableByName(ResolveKernelChoice(std::getenv("SPLASH_KERNEL"),
-                                        CpuSupportsAvx2Fma(),
-                                        GetAvx2Kernels() != nullptr));
+    t = ResolveFromEnvironment();
     g_kernels.store(t, std::memory_order_release);
   }
   return *t;
@@ -83,14 +117,15 @@ const char* KernelBackendName() { return Kernels().name; }
 bool SetKernelBackendForTesting(const char* name) {
   const KernelTable* t;
   if (name == nullptr || std::strcmp(name, "auto") == 0) {
-    t = TableByName(ResolveKernelChoice(std::getenv("SPLASH_KERNEL"),
-                                        CpuSupportsAvx2Fma(),
-                                        GetAvx2Kernels() != nullptr));
+    t = ResolveFromEnvironment();
   } else if (std::strcmp(name, "scalar") == 0) {
     t = GetScalarKernels();
   } else if (std::strcmp(name, "avx2") == 0) {
     t = GetAvx2Kernels();
     if (t == nullptr || !CpuSupportsAvx2Fma()) return false;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    t = GetAvx512Kernels();
+    if (t == nullptr || !CpuSupportsAvx512()) return false;
   } else {
     return false;
   }

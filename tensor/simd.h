@@ -9,18 +9,23 @@
 //                               tensor/matrix.cc loops, verbatim): the
 //                               bit-exact determinism anchor.
 //   2. SPLASH_KERNEL=avx2    -> AVX2/FMA micro-kernels (register-tiled
-//                               GEMMs, masked tails); falls back to scalar
-//                               with a stderr warning if cpuid says no.
-//   3. SPLASH_KERNEL=auto    -> (default) avx2 when the CPU supports
-//                               AVX2+FMA and the backend was compiled in,
-//                               scalar otherwise.
+//                               GEMMs, masked tails); falls back with a
+//                               stderr warning if cpuid says no.
+//   3. SPLASH_KERNEL=avx512  -> AVX-512 micro-kernels (8x32 GEMM tiles,
+//                               __mmask16 predicated tails); falls back to
+//                               the best remaining backend with a stderr
+//                               warning if cpuid says no.
+//   4. SPLASH_KERNEL=auto    -> (default) the widest backend the CPU
+//                               supports and the build compiled in:
+//                               avx512 > avx2 > scalar.
 //
 // Backends are tolerance-equivalent, not bit-equal: SIMD kernels reorder
-// the per-element accumulation (8-lane partial sums), so determinism tests
-// and committed oracles always pin SPLASH_KERNEL=scalar. Within ONE
-// backend, results are bit-identical across thread counts — the parallel
-// wrappers in tensor/matrix.cc partition output rows without changing any
-// per-element accumulation order.
+// the per-element accumulation (8- or 16-lane partial sums), so each SIMD
+// backend is its own bitwise universe and determinism tests / committed
+// oracles always pin SPLASH_KERNEL=scalar. Within ONE backend, results are
+// bit-identical across thread counts — the parallel wrappers in
+// tensor/matrix.cc partition output rows without changing any per-element
+// accumulation order.
 //
 // All kernels are stride-aware (operands may carry a padded leading
 // dimension, Matrix::ResizePadded) and never read or write a row outside
@@ -39,7 +44,7 @@ class Matrix;
 /// The per-backend serial kernel set. The parallel entry points in
 /// tensor/matrix.h partition work and call these on row ranges.
 struct KernelTable {
-  const char* name;  // "scalar" | "avx2"
+  const char* name;  // "scalar" | "avx2" | "avx512"
 
   /// c rows [r0, r1) = a * b (+ c if accumulate). a MxK, b KxN, c MxN.
   void (*matmul_range)(const Matrix& a, const Matrix& b, Matrix* c,
@@ -78,40 +83,47 @@ struct KernelTable {
   ///   f_0 = 1, f_{p+1} = f_p * freq_decay
   ///   out[2p] = sin(x * f_p), out[2p+1] = cos(x * f_p)  for 2p+1 < dim
   ///   out[dim-1] = 0.1 * x                              when dim is odd
-  /// Scalar uses libm (the bit-exact reference); avx2 uses an 8-lane
-  /// Cody-Waite + minimax polynomial sincos (~1e-7 absolute error).
+  /// Scalar uses libm (the bit-exact reference); avx2/avx512 use an 8/16-
+  /// lane Cody-Waite + minimax polynomial sincos (~1e-7 absolute error).
   void (*sincos_encode)(float x, float freq_decay, float* out, size_t dim);
 };
 
 /// The active kernel table, resolved once (env knob + cpuid) on first use.
 const KernelTable& Kernels();
 
-/// Name of the active backend ("scalar" or "avx2").
+/// Name of the active backend ("scalar", "avx2", or "avx512").
 const char* KernelBackendName();
 
 /// True when this CPU can run the AVX2/FMA backend.
 bool CpuSupportsAvx2Fma();
+
+/// True when this CPU can run the AVX-512 backend (needs F + VL + DQ).
+bool CpuSupportsAvx512();
 
 /// Human-readable cpuid feature summary ("avx2+fma" / "baseline"), recorded
 /// in bench JSON context so snapshots are attributable to the host ISA.
 std::string CpuFeatureString();
 
 /// Pure resolution logic, exposed for tests: maps the SPLASH_KERNEL value
-/// (null = unset) and the cpuid/compile facts to a backend name.
+/// (null = unset) and the cpuid/compile facts to a backend name. An
+/// explicitly requested backend that is unavailable falls back to the best
+/// remaining one (avx512 -> avx2 -> scalar) with a stderr warning.
 const char* ResolveKernelChoice(const char* env, bool cpu_has_avx2,
-                                bool avx2_compiled);
+                                bool avx2_compiled, bool cpu_has_avx512,
+                                bool avx512_compiled);
 
-/// Forces a backend for tests/benches ("scalar", "avx2", or "auto" to
-/// re-resolve from the environment). Returns false (and leaves the active
-/// table unchanged) if the requested backend is unavailable. Not
-/// thread-safe against concurrent kernel calls — call it only from test
-/// set-up, before spawning workers.
+/// Forces a backend for tests/benches ("scalar", "avx2", "avx512", or
+/// "auto" to re-resolve from the environment). Returns false (and leaves
+/// the active table unchanged) if the requested backend is unavailable.
+/// Not thread-safe against concurrent kernel calls — call it only from
+/// test set-up, before spawning workers.
 bool SetKernelBackendForTesting(const char* name);
 
-/// Backend tables (internal): scalar always exists; avx2 is null when the
-/// TU was compiled without AVX2 support (non-x86 target).
+/// Backend tables (internal): scalar always exists; avx2/avx512 are null
+/// when their TU was compiled without ISA support (non-x86 target).
 const KernelTable* GetScalarKernels();
 const KernelTable* GetAvx2Kernels();
+const KernelTable* GetAvx512Kernels();
 
 }  // namespace splash
 

@@ -163,14 +163,11 @@ TEST(AllocationSteadyStateTest, FeatureAugmenterObserveBulkIsAllocationFree) {
   ThreadPool::SetGlobalThreads(1);
 }
 
-TEST(AllocationSteadyStateTest, SlimAndServePathsAllocationFreeUnderAvx2) {
-  // The aligned/padded scratch introduced by the SIMD backend must stay
-  // grow-only under the avx2 kernels too: Observe, TrainStep, and the
-  // serve read path (PredictBatchConst with per-client scratch) perform
-  // zero heap allocations at steady state.
-  if (!SetKernelBackendForTesting("avx2")) {
-    GTEST_SKIP() << "no AVX2/FMA backend on this host";
-  }
+// The aligned/padded scratch introduced by the SIMD backends must stay
+// grow-only under each of them too: Observe, TrainStep, and the serve read
+// path (PredictBatchConst with per-client scratch) perform zero heap
+// allocations at steady state regardless of the dispatched kernel table.
+void RunSlimAndServeAllocationGate() {
   ThreadPool::SetGlobalThreads(4);
 
   ScalabilityOptions sopts;
@@ -215,6 +212,21 @@ TEST(AllocationSteadyStateTest, SlimAndServePathsAllocationFreeUnderAvx2) {
   });
   EXPECT_EQ(allocs, 0u);
   ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(AllocationSteadyStateTest, SlimAndServePathsAllocationFreeUnderAvx2) {
+  if (!SetKernelBackendForTesting("avx2")) {
+    GTEST_SKIP() << "no AVX2/FMA backend on this host";
+  }
+  RunSlimAndServeAllocationGate();
+  ASSERT_TRUE(SetKernelBackendForTesting("auto"));
+}
+
+TEST(AllocationSteadyStateTest, SlimAndServePathsAllocationFreeUnderAvx512) {
+  if (!SetKernelBackendForTesting("avx512")) {
+    GTEST_SKIP() << "no AVX-512 backend on this host";
+  }
+  RunSlimAndServeAllocationGate();
   ASSERT_TRUE(SetKernelBackendForTesting("auto"));
 }
 

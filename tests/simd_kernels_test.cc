@@ -2,12 +2,12 @@
 //
 // Backend-equivalence suite for the runtime-dispatched kernel layer
 // (DESIGN.md §6): for every kernel in the table and a shape sweep that
-// includes ragged tails, the avx2 backend must match the scalar reference
-// within a 4-ulp relative tolerance (relative to the element's absolute
-// dot mass, so cancellation does not inflate the bound into meaningless
-// territory). Also pins the dispatch-resolution logic, the padded-layout
-// bit-equality (padding must never change arithmetic), and the
-// scalar-backend bit-equality of the fused epilogue vs the three-pass
+// includes ragged tails, each SIMD backend (avx2, avx512) must match the
+// scalar reference within a 4-ulp relative tolerance (relative to the
+// element's absolute dot mass, so cancellation does not inflate the bound
+// into meaningless territory). Also pins the dispatch-resolution logic, the
+// padded-layout bit-equality (padding must never change arithmetic), and
+// the scalar-backend bit-equality of the fused epilogue vs the three-pass
 // sequence it replaced.
 
 #include "tensor/simd.h"
@@ -31,6 +31,19 @@ bool HaveAvx2() {
   return CpuSupportsAvx2Fma() && GetAvx2Kernels() != nullptr;
 }
 
+bool HaveAvx512() {
+  return CpuSupportsAvx512() && GetAvx512Kernels() != nullptr;
+}
+
+/// Every SIMD backend this host can run; equivalence tests sweep them all
+/// against the scalar reference.
+std::vector<const KernelTable*> SimdBackends() {
+  std::vector<const KernelTable*> v;
+  if (HaveAvx2()) v.push_back(GetAvx2Kernels());
+  if (HaveAvx512()) v.push_back(GetAvx512Kernels());
+  return v;
+}
+
 /// |got - want| <= 4 ulp relative to the element's absolute accumulation
 /// mass: both backends round a reordering of the same |mass|-sized sum, so
 /// their difference is bounded by a few ulp of that mass even when the
@@ -44,129 +57,214 @@ void ExpectUlpClose(float want, float got, double abs_mass,
 }
 
 struct GemmCase {
-  Matrix a, b, c_scalar, c_avx2;
+  Matrix a, b, c_scalar, c_simd;
   Matrix abs_mass;  // per-element sum of |a||b| terms, the tolerance scale
 };
 
 /// Compares two full output matrices against the per-element mass bound.
 void CompareOutputs(const GemmCase& g, const char* what) {
-  ASSERT_EQ(g.c_scalar.rows(), g.c_avx2.rows());
-  ASSERT_EQ(g.c_scalar.cols(), g.c_avx2.cols());
+  ASSERT_EQ(g.c_scalar.rows(), g.c_simd.rows());
+  ASSERT_EQ(g.c_scalar.cols(), g.c_simd.cols());
   for (size_t i = 0; i < g.c_scalar.rows(); ++i) {
     for (size_t j = 0; j < g.c_scalar.cols(); ++j) {
-      ExpectUlpClose(g.c_scalar(i, j), g.c_avx2(i, j), g.abs_mass(i, j),
+      ExpectUlpClose(g.c_scalar(i, j), g.c_simd(i, j), g.abs_mass(i, j),
                      what, i, j);
     }
   }
 }
 
-TEST(SimdKernelsTest, MatMulScalarVsAvx2AcrossShapeSweep) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
-  const KernelTable* s = GetScalarKernels();
-  const KernelTable* x = GetAvx2Kernels();
-  Rng rng(101);
-  for (size_t m : kDims) {
-    for (size_t k : kDims) {
-      for (size_t n : kDims) {
-        GemmCase g;
-        g.a = Matrix::Gaussian(m, k, &rng);
-        g.b = Matrix::Gaussian(k, n, &rng);
-        g.c_scalar = Matrix(m, n);
-        g.c_avx2 = Matrix(m, n);
-        g.abs_mass = Matrix(m, n);
-        for (size_t i = 0; i < m; ++i) {
-          for (size_t j = 0; j < n; ++j) {
-            double mass = 0.0;
-            for (size_t kk = 0; kk < k; ++kk) {
-              mass += std::fabs(static_cast<double>(g.a(i, kk)) * g.b(kk, j));
-            }
-            g.abs_mass(i, j) = static_cast<float>(mass);
-          }
-        }
-        s->matmul_range(g.a, g.b, &g.c_scalar, 0, m, false);
-        x->matmul_range(g.a, g.b, &g.c_avx2, 0, m, false);
-        CompareOutputs(g, "MatMul");
-
-        // Accumulate path: both sides start from the same prior.
-        Matrix acc_s = Matrix::Ones(m, n), acc_x = Matrix::Ones(m, n);
-        s->matmul_range(g.a, g.b, &acc_s, 0, m, true);
-        x->matmul_range(g.a, g.b, &acc_x, 0, m, true);
-        g.c_scalar = acc_s;
-        g.c_avx2 = acc_x;
-        CompareOutputs(g, "MatMul+acc");
+/// Fills abs_mass for c = a * b (a: MxK, b: KxN).
+void FillMassAB(GemmCase* g) {
+  const size_t m = g->a.rows(), k = g->a.cols(), n = g->b.cols();
+  g->abs_mass = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double mass = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        mass += std::fabs(static_cast<double>(g->a(i, kk)) * g->b(kk, j));
       }
+      g->abs_mass(i, j) = static_cast<float>(mass);
     }
   }
 }
 
-TEST(SimdKernelsTest, MatMulTransBScalarVsAvx2AcrossShapeSweep) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+TEST(SimdKernelsTest, MatMulScalarVsSimdAcrossShapeSweep) {
+  const auto backends = SimdBackends();
+  if (backends.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   const KernelTable* s = GetScalarKernels();
-  const KernelTable* x = GetAvx2Kernels();
-  Rng rng(102);
-  for (size_t m : kDims) {
-    for (size_t k : kDims) {
-      for (size_t n : kDims) {
-        GemmCase g;
-        g.a = Matrix::Gaussian(m, k, &rng);
-        g.b = Matrix::Gaussian(n, k, &rng);  // NxK
-        g.c_scalar = Matrix(m, n);
-        g.c_avx2 = Matrix(m, n);
-        g.abs_mass = Matrix(m, n);
-        for (size_t i = 0; i < m; ++i) {
-          for (size_t j = 0; j < n; ++j) {
-            double mass = 0.0;
-            for (size_t kk = 0; kk < k; ++kk) {
-              mass += std::fabs(static_cast<double>(g.a(i, kk)) * g.b(j, kk));
-            }
-            g.abs_mass(i, j) = static_cast<float>(mass);
-          }
-        }
-        s->matmul_transb_range(g.a, g.b, &g.c_scalar, 0, m, false);
-        x->matmul_transb_range(g.a, g.b, &g.c_avx2, 0, m, false);
-        CompareOutputs(g, "MatMulTransB");
-      }
-    }
-  }
-}
-
-TEST(SimdKernelsTest, MatMulTransAScalarVsAvx2AcrossShapeSweep) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
-  const KernelTable* s = GetScalarKernels();
-  const KernelTable* x = GetAvx2Kernels();
-  Rng rng(103);
-  for (size_t r : kDims) {
+  for (const KernelTable* x : backends) {
+    Rng rng(101);
     for (size_t m : kDims) {
-      for (size_t n : kDims) {
-        GemmCase g;
-        g.a = Matrix::Gaussian(r, m, &rng);  // RxM
-        g.b = Matrix::Gaussian(r, n, &rng);  // RxN
-        g.c_scalar = Matrix(m, n);           // pre-zeroed (range contract)
-        g.c_avx2 = Matrix(m, n);
-        g.abs_mass = Matrix(m, n);
-        for (size_t i = 0; i < m; ++i) {
-          for (size_t j = 0; j < n; ++j) {
-            double mass = 0.0;
-            for (size_t rr = 0; rr < r; ++rr) {
-              mass += std::fabs(static_cast<double>(g.a(rr, i)) * g.b(rr, j));
-            }
-            g.abs_mass(i, j) = static_cast<float>(mass);
-          }
-        }
-        s->matmul_transa_range(g.a, g.b, &g.c_scalar, 0, r);
-        x->matmul_transa_range(g.a, g.b, &g.c_avx2, 0, r);
-        CompareOutputs(g, "MatMulTransA");
+      for (size_t k : kDims) {
+        for (size_t n : kDims) {
+          GemmCase g;
+          g.a = Matrix::Gaussian(m, k, &rng);
+          g.b = Matrix::Gaussian(k, n, &rng);
+          g.c_scalar = Matrix(m, n);
+          g.c_simd = Matrix(m, n);
+          FillMassAB(&g);
+          s->matmul_range(g.a, g.b, &g.c_scalar, 0, m, false);
+          x->matmul_range(g.a, g.b, &g.c_simd, 0, m, false);
+          CompareOutputs(g, x->name);
 
-        // Output-partition form must match the serial form bit-exactly
-        // within each backend (the parallel wrapper relies on it).
-        Matrix part(m, n);
-        const size_t mid = m / 2;
-        x->matmul_transa_output_range(g.a, g.b, &part, 0, mid, false);
-        x->matmul_transa_output_range(g.a, g.b, &part, mid, m, false);
-        for (size_t i = 0; i < m; ++i) {
-          for (size_t j = 0; j < n; ++j) {
-            ASSERT_EQ(part(i, j), g.c_avx2(i, j))
-                << "avx2 output-range mismatch at (" << i << "," << j << ")";
+          // Accumulate path: both sides start from the same prior.
+          Matrix acc_s = Matrix::Ones(m, n), acc_x = Matrix::Ones(m, n);
+          s->matmul_range(g.a, g.b, &acc_s, 0, m, true);
+          x->matmul_range(g.a, g.b, &acc_x, 0, m, true);
+          g.c_scalar = acc_s;
+          g.c_simd = acc_x;
+          CompareOutputs(g, "MatMul+acc");
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MatMulRaggedTailSweep1To31) {
+  // Every masked-tail width both backends can hit: n (column-tail masks),
+  // k (reduction-tail masks in TransB dots), and small m (row-block
+  // remainders) from 1 to 31 — covers all __mmask16 and avx2 tail values.
+  const auto backends = SimdBackends();
+  if (backends.empty()) GTEST_SKIP() << "no SIMD backend on this host";
+  const KernelTable* s = GetScalarKernels();
+  for (const KernelTable* x : backends) {
+    Rng rng(108);
+    std::vector<float> bias;
+    for (size_t n = 1; n <= 31; ++n) {
+      GemmCase g;
+      g.a = Matrix::Gaussian(9, 19, &rng);
+      g.b = Matrix::Gaussian(19, n, &rng);
+      g.c_scalar = Matrix(9, n);
+      g.c_simd = Matrix(9, n);
+      FillMassAB(&g);
+      s->matmul_range(g.a, g.b, &g.c_scalar, 0, 9, false);
+      x->matmul_range(g.a, g.b, &g.c_simd, 0, 9, false);
+      CompareOutputs(g, x->name);
+
+      bias.assign(n, 0.0f);
+      for (size_t j = 0; j < n; ++j) {
+        bias[j] = 0.25f * static_cast<float>(rng.Uniform() - 0.5);
+        g.abs_mass(0, j) += std::fabs(bias[j]);
+      }
+      for (size_t i = 1; i < 9; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          g.abs_mass(i, j) += std::fabs(bias[j]);
+        }
+      }
+      s->matmul_bias_act_range(g.a, g.b, &g.c_scalar, 0, 9, bias.data(),
+                               true);
+      x->matmul_bias_act_range(g.a, g.b, &g.c_simd, 0, 9, bias.data(), true);
+      CompareOutputs(g, "fused tail");
+    }
+    for (size_t k = 1; k <= 31; ++k) {
+      GemmCase g;
+      g.a = Matrix::Gaussian(6, k, &rng);
+      g.b = Matrix::Gaussian(23, k, &rng);  // NxK for TransB
+      g.c_scalar = Matrix(6, 23);
+      g.c_simd = Matrix(6, 23);
+      g.abs_mass = Matrix(6, 23);
+      for (size_t i = 0; i < 6; ++i) {
+        for (size_t j = 0; j < 23; ++j) {
+          double mass = 0.0;
+          for (size_t kk = 0; kk < k; ++kk) {
+            mass += std::fabs(static_cast<double>(g.a(i, kk)) * g.b(j, kk));
+          }
+          g.abs_mass(i, j) = static_cast<float>(mass);
+        }
+      }
+      s->matmul_transb_range(g.a, g.b, &g.c_scalar, 0, 6, false);
+      x->matmul_transb_range(g.a, g.b, &g.c_simd, 0, 6, false);
+      CompareOutputs(g, "transb k-tail");
+    }
+    for (size_t m = 1; m <= 31; ++m) {
+      GemmCase g;
+      g.a = Matrix::Gaussian(m, 13, &rng);
+      g.b = Matrix::Gaussian(13, 21, &rng);
+      g.c_scalar = Matrix(m, 21);
+      g.c_simd = Matrix(m, 21);
+      FillMassAB(&g);
+      s->matmul_range(g.a, g.b, &g.c_scalar, 0, m, false);
+      x->matmul_range(g.a, g.b, &g.c_simd, 0, m, false);
+      CompareOutputs(g, "row-block tail");
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MatMulTransBScalarVsSimdAcrossShapeSweep) {
+  const auto backends = SimdBackends();
+  if (backends.empty()) GTEST_SKIP() << "no SIMD backend on this host";
+  const KernelTable* s = GetScalarKernels();
+  for (const KernelTable* x : backends) {
+    Rng rng(102);
+    for (size_t m : kDims) {
+      for (size_t k : kDims) {
+        for (size_t n : kDims) {
+          GemmCase g;
+          g.a = Matrix::Gaussian(m, k, &rng);
+          g.b = Matrix::Gaussian(n, k, &rng);  // NxK
+          g.c_scalar = Matrix(m, n);
+          g.c_simd = Matrix(m, n);
+          g.abs_mass = Matrix(m, n);
+          for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+              double mass = 0.0;
+              for (size_t kk = 0; kk < k; ++kk) {
+                mass +=
+                    std::fabs(static_cast<double>(g.a(i, kk)) * g.b(j, kk));
+              }
+              g.abs_mass(i, j) = static_cast<float>(mass);
+            }
+          }
+          s->matmul_transb_range(g.a, g.b, &g.c_scalar, 0, m, false);
+          x->matmul_transb_range(g.a, g.b, &g.c_simd, 0, m, false);
+          CompareOutputs(g, "MatMulTransB");
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MatMulTransAScalarVsSimdAcrossShapeSweep) {
+  const auto backends = SimdBackends();
+  if (backends.empty()) GTEST_SKIP() << "no SIMD backend on this host";
+  const KernelTable* s = GetScalarKernels();
+  for (const KernelTable* x : backends) {
+    Rng rng(103);
+    for (size_t r : kDims) {
+      for (size_t m : kDims) {
+        for (size_t n : kDims) {
+          GemmCase g;
+          g.a = Matrix::Gaussian(r, m, &rng);  // RxM
+          g.b = Matrix::Gaussian(r, n, &rng);  // RxN
+          g.c_scalar = Matrix(m, n);           // pre-zeroed (range contract)
+          g.c_simd = Matrix(m, n);
+          g.abs_mass = Matrix(m, n);
+          for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+              double mass = 0.0;
+              for (size_t rr = 0; rr < r; ++rr) {
+                mass +=
+                    std::fabs(static_cast<double>(g.a(rr, i)) * g.b(rr, j));
+              }
+              g.abs_mass(i, j) = static_cast<float>(mass);
+            }
+          }
+          s->matmul_transa_range(g.a, g.b, &g.c_scalar, 0, r);
+          x->matmul_transa_range(g.a, g.b, &g.c_simd, 0, r);
+          CompareOutputs(g, "MatMulTransA");
+
+          // Output-partition form must match the serial form bit-exactly
+          // within each backend (the parallel wrapper relies on it).
+          Matrix part(m, n);
+          const size_t mid = m / 2;
+          x->matmul_transa_output_range(g.a, g.b, &part, 0, mid, false);
+          x->matmul_transa_output_range(g.a, g.b, &part, mid, m, false);
+          for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+              ASSERT_EQ(part(i, j), g.c_simd(i, j))
+                  << x->name << " output-range mismatch at (" << i << ","
+                  << j << ")";
+            }
           }
         }
       }
@@ -202,129 +300,136 @@ TEST(SimdKernelsTest, FusedEpilogueMatchesThreePassScalarBitExact) {
   }
 }
 
-TEST(SimdKernelsTest, FusedEpilogueScalarVsAvx2) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+TEST(SimdKernelsTest, FusedEpilogueScalarVsSimd) {
+  const auto backends = SimdBackends();
+  if (backends.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   const KernelTable* s = GetScalarKernels();
-  const KernelTable* x = GetAvx2Kernels();
-  Rng rng(105);
-  for (size_t m : kDims) {
-    for (size_t n : kDims) {
-      const size_t k = 33;
-      GemmCase g;
-      g.a = Matrix::Gaussian(m, k, &rng);
-      g.b = Matrix::Gaussian(k, n, &rng);
-      std::vector<float> bias(n);
-      for (size_t j = 0; j < n; ++j) {
-        bias[j] = 0.25f * static_cast<float>(rng.Uniform() - 0.5);
-      }
-      g.abs_mass = Matrix(m, n);
-      for (size_t i = 0; i < m; ++i) {
+  for (const KernelTable* x : backends) {
+    Rng rng(105);
+    for (size_t m : kDims) {
+      for (size_t n : kDims) {
+        const size_t k = 33;
+        GemmCase g;
+        g.a = Matrix::Gaussian(m, k, &rng);
+        g.b = Matrix::Gaussian(k, n, &rng);
+        std::vector<float> bias(n);
         for (size_t j = 0; j < n; ++j) {
-          double mass = std::fabs(static_cast<double>(bias[j]));
-          for (size_t kk = 0; kk < k; ++kk) {
-            mass += std::fabs(static_cast<double>(g.a(i, kk)) * g.b(kk, j));
+          bias[j] = 0.25f * static_cast<float>(rng.Uniform() - 0.5);
+        }
+        g.abs_mass = Matrix(m, n);
+        for (size_t i = 0; i < m; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            double mass = std::fabs(static_cast<double>(bias[j]));
+            for (size_t kk = 0; kk < k; ++kk) {
+              mass += std::fabs(static_cast<double>(g.a(i, kk)) * g.b(kk, j));
+            }
+            g.abs_mass(i, j) = static_cast<float>(mass);
           }
-          g.abs_mass(i, j) = static_cast<float>(mass);
+        }
+        for (bool relu : {false, true}) {
+          g.c_scalar = Matrix(m, n);
+          g.c_simd = Matrix(m, n);
+          s->matmul_bias_act_range(g.a, g.b, &g.c_scalar, 0, m, bias.data(),
+                                   relu);
+          x->matmul_bias_act_range(g.a, g.b, &g.c_simd, 0, m, bias.data(),
+                                   relu);
+          CompareOutputs(g, relu ? "fused+relu" : "fused");
         }
       }
-      for (bool relu : {false, true}) {
-        g.c_scalar = Matrix(m, n);
-        g.c_avx2 = Matrix(m, n);
-        s->matmul_bias_act_range(g.a, g.b, &g.c_scalar, 0, m, bias.data(),
-                                 relu);
-        x->matmul_bias_act_range(g.a, g.b, &g.c_avx2, 0, m, bias.data(),
-                                 relu);
-        CompareOutputs(g, relu ? "fused+relu" : "fused");
-      }
     }
   }
 }
 
-TEST(SimdKernelsTest, VectorKernelsScalarVsAvx2) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+TEST(SimdKernelsTest, VectorKernelsScalarVsSimd) {
+  const auto backends = SimdBackends();
+  if (backends.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   const KernelTable* s = GetScalarKernels();
-  const KernelTable* x = GetAvx2Kernels();
-  Rng rng(106);
   const double eps = std::numeric_limits<float>::epsilon();
-  for (size_t n : kDims) {
-    // axpy
-    std::vector<float> xs(n), ys(n), yx(n);
-    for (size_t i = 0; i < n; ++i) {
-      xs[i] = static_cast<float>(rng.Uniform() - 0.5);
-      ys[i] = static_cast<float>(rng.Uniform() - 0.5);
-      yx[i] = ys[i];
-    }
-    s->axpy(0.7f, xs.data(), ys.data(), n);
-    x->axpy(0.7f, xs.data(), yx.data(), n);
-    for (size_t i = 0; i < n; ++i) {
-      EXPECT_NEAR(ys[i], yx[i], 4.0 * eps * (std::fabs(ys[i]) + 1.0))
-          << "axpy[" << i << "]";
-    }
-
-    // add_row_vector + relu + column sums on an 17 x n matrix
-    Matrix ms = Matrix::Gaussian(17, n, &rng);
-    Matrix mx = ms;
-    std::vector<float> bias(n, -0.05f);
-    s->add_row_vector(&ms, bias.data());
-    x->add_row_vector(&mx, bias.data());
-    s->relu_inplace(&ms);
-    x->relu_inplace(&mx);
-    for (size_t i = 0; i < 17; ++i) {
-      for (size_t j = 0; j < n; ++j) {
-        ASSERT_EQ(ms(i, j), mx(i, j)) << "rowvec/relu (" << i << "," << j
-                                      << ")";
+  for (const KernelTable* x : backends) {
+    Rng rng(106);
+    for (size_t n : kDims) {
+      // axpy
+      std::vector<float> xs(n), ys(n), yx(n);
+      for (size_t i = 0; i < n; ++i) {
+        xs[i] = static_cast<float>(rng.Uniform() - 0.5);
+        ys[i] = static_cast<float>(rng.Uniform() - 0.5);
+        yx[i] = ys[i];
       }
-    }
-    std::vector<float> cs(n), cx(n);
-    s->column_sums_range(ms, cs.data(), 2, 15, false);
-    x->column_sums_range(mx, cx.data(), 2, 15, false);
-    for (size_t j = 0; j < n; ++j) {
-      EXPECT_NEAR(cs[j], cx[j], 4.0 * eps * (std::fabs(cs[j]) + 13.0))
-          << "colsum[" << j << "]";
-    }
+      s->axpy(0.7f, xs.data(), ys.data(), n);
+      x->axpy(0.7f, xs.data(), yx.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(ys[i], yx[i], 4.0 * eps * (std::fabs(ys[i]) + 1.0))
+            << x->name << " axpy[" << i << "]";
+      }
 
-    // adam
-    std::vector<float> w1(n), w2(n), gg(n), m1(n), m2(n), v1(n), v2(n);
-    for (size_t i = 0; i < n; ++i) {
-      w1[i] = w2[i] = static_cast<float>(rng.Uniform() - 0.5);
-      gg[i] = static_cast<float>(rng.Uniform() - 0.5);
-      m1[i] = m2[i] = static_cast<float>(rng.Uniform() - 0.5);
-      v1[i] = v2[i] = static_cast<float>(rng.Uniform());
-    }
-    s->adam_update(w1.data(), gg.data(), m1.data(), v1.data(), n, 1e-3f,
-                   0.9f, 0.999f, 1e-8f);
-    x->adam_update(w2.data(), gg.data(), m2.data(), v2.data(), n, 1e-3f,
-                   0.9f, 0.999f, 1e-8f);
-    for (size_t i = 0; i < n; ++i) {
-      EXPECT_NEAR(w1[i], w2[i], 8.0 * eps * (std::fabs(w1[i]) + 1e-3))
-          << "adam w[" << i << "]";
-      EXPECT_NEAR(v1[i], v2[i], 8.0 * eps * (std::fabs(v1[i]) + 1e-6))
-          << "adam v[" << i << "]";
+      // add_row_vector + relu + column sums on an 17 x n matrix
+      Matrix ms = Matrix::Gaussian(17, n, &rng);
+      Matrix mx = ms;
+      std::vector<float> bias(n, -0.05f);
+      s->add_row_vector(&ms, bias.data());
+      x->add_row_vector(&mx, bias.data());
+      s->relu_inplace(&ms);
+      x->relu_inplace(&mx);
+      for (size_t i = 0; i < 17; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(ms(i, j), mx(i, j))
+              << x->name << " rowvec/relu (" << i << "," << j << ")";
+        }
+      }
+      std::vector<float> cs(n), cx(n);
+      s->column_sums_range(ms, cs.data(), 2, 15, false);
+      x->column_sums_range(mx, cx.data(), 2, 15, false);
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(cs[j], cx[j], 4.0 * eps * (std::fabs(cs[j]) + 13.0))
+            << x->name << " colsum[" << j << "]";
+      }
+
+      // adam
+      std::vector<float> w1(n), w2(n), gg(n), m1(n), m2(n), v1(n), v2(n);
+      for (size_t i = 0; i < n; ++i) {
+        w1[i] = w2[i] = static_cast<float>(rng.Uniform() - 0.5);
+        gg[i] = static_cast<float>(rng.Uniform() - 0.5);
+        m1[i] = m2[i] = static_cast<float>(rng.Uniform() - 0.5);
+        v1[i] = v2[i] = static_cast<float>(rng.Uniform());
+      }
+      s->adam_update(w1.data(), gg.data(), m1.data(), v1.data(), n, 1e-3f,
+                     0.9f, 0.999f, 1e-8f);
+      x->adam_update(w2.data(), gg.data(), m2.data(), v2.data(), n, 1e-3f,
+                     0.9f, 0.999f, 1e-8f);
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(w1[i], w2[i], 8.0 * eps * (std::fabs(w1[i]) + 1e-3))
+            << x->name << " adam w[" << i << "]";
+        EXPECT_NEAR(v1[i], v2[i], 8.0 * eps * (std::fabs(v1[i]) + 1e-6))
+            << x->name << " adam v[" << i << "]";
+      }
     }
   }
 }
 
-TEST(SimdKernelsTest, SincosEncodeScalarVsAvx2) {
-  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2/FMA on this host";
+TEST(SimdKernelsTest, SincosEncodeScalarVsSimd) {
+  const auto backends = SimdBackends();
+  if (backends.empty()) GTEST_SKIP() << "no SIMD backend on this host";
   const KernelTable* s = GetScalarKernels();
-  const KernelTable* x = GetAvx2Kernels();
   // x values spanning the log-compressed delta/degree range (log1p of
   // [0, 1e9] stays under ~21), decays from both call sites, dims covering
-  // full vectors, masked pair tails, and odd trailing lanes.
+  // full vectors, masked pair tails, and odd trailing lanes — including
+  // the 16-lane boundary cases of the avx512 interleave.
   const float xs[] = {0.0f, 1e-4f, 0.3f, 1.0f, 3.1415926f, 7.5f, 20.7f};
   const float decays[] = {0.5f, 0.6f, 0.9f};
-  for (float xv : xs) {
-    for (float decay : decays) {
-      for (size_t dim : {1, 2, 7, 8, 16, 17, 32, 33}) {
-        std::vector<float> a(dim, -9.0f), b(dim, -9.0f);
-        s->sincos_encode(xv, decay, a.data(), dim);
-        x->sincos_encode(xv, decay, b.data(), dim);
-        for (size_t j = 0; j < dim; ++j) {
-          // |sin|,|cos| <= 1: the polynomial backend is within ~1e-7
-          // absolute of libm on this range.
-          EXPECT_NEAR(a[j], b[j], 1e-6f)
-              << "x=" << xv << " decay=" << decay << " dim=" << dim
-              << " j=" << j;
+  for (const KernelTable* x : backends) {
+    for (float xv : xs) {
+      for (float decay : decays) {
+        for (size_t dim : {1, 2, 7, 8, 16, 17, 31, 32, 33, 63, 64, 65}) {
+          std::vector<float> a(dim, -9.0f), b(dim, -9.0f);
+          s->sincos_encode(xv, decay, a.data(), dim);
+          x->sincos_encode(xv, decay, b.data(), dim);
+          for (size_t j = 0; j < dim; ++j) {
+            // |sin|,|cos| <= 1: the polynomial backends are within ~1e-7
+            // absolute of libm on this range.
+            EXPECT_NEAR(a[j], b[j], 1e-6f)
+                << x->name << " x=" << xv << " decay=" << decay
+                << " dim=" << dim << " j=" << j;
+          }
         }
       }
     }
@@ -336,7 +441,7 @@ TEST(SimdKernelsTest, PaddedOperandsBitEqualContiguousWithinBackend) {
   // bit-identical results for padded and contiguous operands.
   Rng rng(107);
   std::vector<const KernelTable*> tables = {GetScalarKernels()};
-  if (HaveAvx2()) tables.push_back(GetAvx2Kernels());
+  for (const KernelTable* t : SimdBackends()) tables.push_back(t);
   for (const KernelTable* t : tables) {
     for (size_t n : {2, 7, 16, 33}) {
       const size_t m = 19, k = 21;
@@ -368,19 +473,49 @@ TEST(SimdKernelsTest, PaddedOperandsBitEqualContiguousWithinBackend) {
 }
 
 TEST(SimdKernelsTest, ResolveKernelChoiceTable) {
-  // (env, cpu_has_avx2, avx2_compiled) -> backend, every cell.
-  EXPECT_STREQ(ResolveKernelChoice(nullptr, true, true), "avx2");
-  EXPECT_STREQ(ResolveKernelChoice(nullptr, false, true), "scalar");
-  EXPECT_STREQ(ResolveKernelChoice(nullptr, true, false), "scalar");
-  EXPECT_STREQ(ResolveKernelChoice("auto", true, true), "avx2");
-  EXPECT_STREQ(ResolveKernelChoice("auto", false, false), "scalar");
-  EXPECT_STREQ(ResolveKernelChoice("scalar", true, true), "scalar");
-  EXPECT_STREQ(ResolveKernelChoice("avx2", true, true), "avx2");
-  EXPECT_STREQ(ResolveKernelChoice("avx2", false, true), "scalar");
-  EXPECT_STREQ(ResolveKernelChoice("avx2", true, false), "scalar");
-  EXPECT_STREQ(ResolveKernelChoice("bogus", true, true), "avx2");
-  EXPECT_STREQ(ResolveKernelChoice("bogus", false, true), "scalar");
-  EXPECT_STREQ(ResolveKernelChoice("", true, true), "avx2");
+  // (env, cpu_has_avx2, avx2_compiled, cpu_has_avx512, avx512_compiled)
+  // -> backend, every interesting cell.
+  // auto / unset: widest available backend wins.
+  EXPECT_STREQ(ResolveKernelChoice(nullptr, true, true, true, true),
+               "avx512");
+  EXPECT_STREQ(ResolveKernelChoice(nullptr, true, true, false, true), "avx2");
+  EXPECT_STREQ(ResolveKernelChoice(nullptr, true, true, true, false), "avx2");
+  EXPECT_STREQ(ResolveKernelChoice(nullptr, false, true, false, true),
+               "scalar");
+  EXPECT_STREQ(ResolveKernelChoice(nullptr, true, false, false, false),
+               "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("auto", true, true, true, true),
+               "avx512");
+  EXPECT_STREQ(ResolveKernelChoice("auto", true, true, false, false),
+               "avx2");
+  EXPECT_STREQ(ResolveKernelChoice("auto", false, false, false, false),
+               "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("", true, true, true, true), "avx512");
+  // Explicit scalar always wins.
+  EXPECT_STREQ(ResolveKernelChoice("scalar", true, true, true, true),
+               "scalar");
+  // Explicit avx2 ignores avx512 availability; falls back to scalar.
+  EXPECT_STREQ(ResolveKernelChoice("avx2", true, true, true, true), "avx2");
+  EXPECT_STREQ(ResolveKernelChoice("avx2", false, true, true, true),
+               "scalar");
+  EXPECT_STREQ(ResolveKernelChoice("avx2", true, false, true, true),
+               "scalar");
+  // Explicit avx512 falls back to the best remaining backend.
+  EXPECT_STREQ(ResolveKernelChoice("avx512", true, true, true, true),
+               "avx512");
+  EXPECT_STREQ(ResolveKernelChoice("avx512", true, true, false, true),
+               "avx2");
+  EXPECT_STREQ(ResolveKernelChoice("avx512", true, true, true, false),
+               "avx2");
+  EXPECT_STREQ(ResolveKernelChoice("avx512", false, false, false, true),
+               "scalar");
+  // Unknown values resolve like auto.
+  EXPECT_STREQ(ResolveKernelChoice("bogus", true, true, true, true),
+               "avx512");
+  EXPECT_STREQ(ResolveKernelChoice("bogus", true, true, false, false),
+               "avx2");
+  EXPECT_STREQ(ResolveKernelChoice("bogus", false, true, false, true),
+               "scalar");
 }
 
 TEST(SimdKernelsTest, SetKernelBackendForTestingSwitchesTable) {
@@ -389,6 +524,10 @@ TEST(SimdKernelsTest, SetKernelBackendForTestingSwitchesTable) {
   if (HaveAvx2()) {
     ASSERT_TRUE(SetKernelBackendForTesting("avx2"));
     EXPECT_STREQ(KernelBackendName(), "avx2");
+  }
+  if (HaveAvx512()) {
+    ASSERT_TRUE(SetKernelBackendForTesting("avx512"));
+    EXPECT_STREQ(KernelBackendName(), "avx512");
   }
   EXPECT_FALSE(SetKernelBackendForTesting("neon"));
   // Restore the env-resolved default for whatever runs next.
