@@ -23,10 +23,22 @@ mismatch fails immediately — scalar baselines must never be diffed against
 avx2 runs or vice versa (CI pins SPLASH_KERNEL=scalar for the gate; the
 avx2/avx512 trajectories live in the baseline's avx2_*/avx512_* context
 keys instead). The same refusal applies per row: bench_serve_load stamps
-`kernel_backend`, `wal_mode`, and `model` on every row, and a pinned row
-whose stamped config differs between baseline and current fails the gate
-before any cpu_time is compared — a WAL-on run must never be diffed
-against a WAL-off baseline just because the row name matches.
+`kernel_backend`, `wal_mode`, `model`, and `shards` on every row, and a
+pinned row whose stamped config differs between baseline and current fails
+the gate before any cpu_time is compared — a WAL-on run must never be
+diffed against a WAL-off baseline just because the row name matches.
+
+--overhead-row/--overhead-ref add a within-file ratio gate on the current
+run: the overhead row must stay within --max-overhead (default 10%) of the
+reference row. CI uses it to pin the sharded router's S=1 tax:
+BM_ServeSmokeMixedRouted/1 vs BM_ServeSmokeMixed, same run, same host —
+no calibration needed because both rows share it. When the overhead row
+carries an `overhead_vs_direct` stamp (bench_serve_load writes the median
+of its 7 per-pair routed/direct ratios, each pair run back-to-back), that
+is the gated ratio — paired ratios cancel within-run host drift that the
+ratio of two independently-sorted medians would absorb into one side.
+Without the stamp (older snapshots) the gate falls back to the plain
+cpu_time ratio of the two rows.
 
 --self-test exercises the comparator against fabricated data derived from
 the baseline: an identical copy must pass, and a copy with one pinned row
@@ -59,11 +71,14 @@ DEFAULT_ROWS = [
 ]
 
 # The serving-layer gate (--preset serve): BENCH_serve.json's pinned
-# closed-loop mixed-traffic smoke row vs a fresh `bench_serve_load --smoke`
+# closed-loop mixed-traffic smoke rows vs a fresh `bench_serve_load --smoke`
 # run, calibrated by that binary's own ALU row. cpu_time here is *process*
 # CPU per operation (ingest + query + apply thread + pool workers), so a
 # regression anywhere in the serve path shows up even on a 1-core runner.
-SERVE_ROWS = ["BM_ServeSmokeMixed"]
+# The Routed/1 row drives the identical workload through a 1-shard
+# ShardedSplashService — it gates the router layer itself, and the
+# --overhead-row check additionally pins its distance from the direct row.
+SERVE_ROWS = ["BM_ServeSmokeMixed", "BM_ServeSmokeMixedRouted/1"]
 SERVE_CALIBRATE = "BM_ServeCalibrate"
 
 PRESETS = {
@@ -73,10 +88,10 @@ PRESETS = {
 
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-# Per-row configuration stamps (bench_serve_load writes all three on every
+# Per-row configuration stamps (bench_serve_load writes all four on every
 # row). A pinned row is only comparable when every stamp both sides carry
 # agrees; a missing stamp (older baselines, other binaries) is not checked.
-_ROW_CONFIG_KEYS = ("kernel_backend", "wal_mode", "model")
+_ROW_CONFIG_KEYS = ("kernel_backend", "wal_mode", "model", "shards")
 
 
 def load_row_configs(doc):
@@ -172,7 +187,42 @@ def compare(baseline, current, rows, max_regress, calibrate=None):
     return ok, lines
 
 
-def self_test(baseline, rows, max_regress, calibrate):
+def load_paired_ratio(doc, row):
+    """The bench-stamped paired-median overhead ratio, or None."""
+    for r in doc.get("benchmarks", []):
+        if r.get("run_name", r.get("name", "")) == row:
+            ratio = r.get("overhead_vs_direct")
+            if isinstance(ratio, (int, float)) and ratio > 0:
+                return float(ratio)
+    return None
+
+
+def check_overhead(doc, row, ref, max_overhead):
+    """Within-file ratio gate: row must stay within (1 + max_overhead) of
+    ref. Prefers the row's stamped `overhead_vs_direct` (median of per-pair
+    back-to-back ratios — drift-immune); falls back to the plain cpu_time
+    ratio for snapshots that predate the stamp. Both rows come from the
+    same run on the same host, so no calibration is involved."""
+    times = load_cpu_times(doc)
+    if row not in times or ref not in times:
+        missing = row if row not in times else ref
+        return False, ["overhead gate: row %s missing: FAIL" % missing]
+    if times[ref] <= 0:
+        return False, ["overhead gate: reference row %s has cpu_time <= 0: "
+                       "FAIL" % ref]
+    paired = load_paired_ratio(doc, row)
+    ratio = paired if paired is not None else times[row] / times[ref]
+    how = ("paired-median stamp" if paired is not None
+           else "%.1fns / %.1fns" % (times[row], times[ref]))
+    ok = ratio <= 1.0 + max_overhead
+    lines = ["overhead gate: %s vs %s = %.3f (%s, limit %.3f): %s" %
+             (row, ref, ratio, how, 1.0 + max_overhead,
+              "ok" if ok else "FAIL")]
+    return ok, lines
+
+
+def self_test(baseline, rows, max_regress, calibrate,
+              overhead_row=None, overhead_ref=None, max_overhead=0.10):
     """The comparator must pass an identical copy and fail a hand-slowed one."""
     same = copy.deepcopy(baseline)
     ok_same, lines = compare(baseline, same, rows, max_regress, calibrate)
@@ -213,10 +263,38 @@ def self_test(baseline, rows, max_regress, calibrate):
             print("self-test FAILED: unlike-config row passed the gate",
                   file=sys.stderr)
             return False
-        print("self-test passed: identical run ok, hand-slowed row and "
-              "unlike-config row rejected")
-        return True
-    print("self-test passed: identical run ok, hand-slowed row rejected")
+        extra = ", unlike-config row rejected"
+    else:
+        extra = ""
+
+    # The overhead comparator must pass the recorded ratio and fail a
+    # hand-inflated one (the baseline is only committed when the ratio
+    # gate holds, so the recorded rows must satisfy it).
+    if overhead_row is not None and overhead_ref is not None:
+        ok_over, lines = check_overhead(baseline, overhead_row, overhead_ref,
+                                        max_overhead)
+        if not ok_over:
+            print("\n".join(lines), file=sys.stderr)
+            print("self-test FAILED: committed baseline violates the "
+                  "overhead gate", file=sys.stderr)
+            return False
+        inflated = copy.deepcopy(baseline)
+        for row in inflated.get("benchmarks", []):
+            if row.get("run_name", row.get("name", "")) == overhead_row:
+                row["cpu_time"] = row["cpu_time"] * (1.0 + 3 * max_overhead)
+                if "overhead_vs_direct" in row:
+                    row["overhead_vs_direct"] = (
+                        row["overhead_vs_direct"] * (1.0 + 3 * max_overhead))
+        ok_inflated, _ = check_overhead(inflated, overhead_row, overhead_ref,
+                                        max_overhead)
+        if ok_inflated:
+            print("self-test FAILED: hand-inflated overhead row passed",
+                  file=sys.stderr)
+            return False
+        extra += ", inflated overhead row rejected"
+
+    print("self-test passed: identical run ok, hand-slowed row rejected%s"
+          % extra)
     return True
 
 
@@ -234,8 +312,16 @@ def main():
                     help="normalize both sides by this row's cpu_time to "
                          "cancel host single-core speed (CI uses "
                          "BM_DegreeEncode / BM_ServeCalibrate)")
+    ap.add_argument("--overhead-row", default=None, metavar="ROW",
+                    help="within-file gate: this row's cpu_time must stay "
+                         "within --max-overhead of --overhead-ref (CI pins "
+                         "BM_ServeSmokeMixedRouted/1 vs BM_ServeSmokeMixed)")
+    ap.add_argument("--overhead-ref", default=None, metavar="ROW")
+    ap.add_argument("--max-overhead", type=float, default=0.10)
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
+    if (args.overhead_row is None) != (args.overhead_ref is None):
+        ap.error("--overhead-row and --overhead-ref go together")
     preset_rows, preset_cal = PRESETS[args.preset or "micro"]
     if args.rows is None:
         args.rows = preset_rows
@@ -247,7 +333,8 @@ def main():
 
     if args.self_test:
         sys.exit(0 if self_test(baseline, args.rows, args.max_regress,
-                                args.calibrate) else 1)
+                                args.calibrate, args.overhead_row,
+                                args.overhead_ref, args.max_overhead) else 1)
 
     if not args.current:
         ap.error("--current is required unless --self-test")
@@ -256,6 +343,12 @@ def main():
 
     ok, lines = compare(baseline, current, args.rows, args.max_regress,
                         args.calibrate)
+    if args.overhead_row is not None:
+        over_ok, over_lines = check_overhead(current, args.overhead_row,
+                                             args.overhead_ref,
+                                             args.max_overhead)
+        ok = ok and over_ok
+        lines.extend(over_lines)
     print("\n".join(lines))
     if not ok:
         print("\nbench regression gate FAILED (threshold +%d%% cpu_time)" %

@@ -27,7 +27,42 @@ CoalesceOptions MakeCoalesceOptions(const SplashServiceOptions& o) {
   return c;
 }
 
+bool FiniteNonNegative(double v) { return std::isfinite(v) && v >= 0.0; }
+
 }  // namespace
+
+Status SplashServiceOptions::Validate() const {
+  if (microbatch_max_items < 1) {
+    return Status::Error(
+        "SplashServiceOptions.microbatch_max_items: must be >= 1");
+  }
+  if (!FiniteNonNegative(microbatch_max_delay_s)) {
+    return Status::Error(
+        "SplashServiceOptions.microbatch_max_delay_s: must be finite and "
+        ">= 0");
+  }
+  if (queue_capacity < 1) {
+    return Status::Error("SplashServiceOptions.queue_capacity: must be >= 1");
+  }
+  if (!FiniteNonNegative(coalesce_max_linger_s)) {
+    return Status::Error(
+        "SplashServiceOptions.coalesce_max_linger_s: must be finite and "
+        ">= 0");
+  }
+  if (coalesce_max_batch > 1 && coalesce_ring_slots < coalesce_max_batch) {
+    return Status::Error(
+        "SplashServiceOptions.coalesce_ring_slots: must be >= "
+        "coalesce_max_batch (a ring smaller than one group can never fill "
+        "a group)");
+  }
+  if (!data_dir.empty() && wal_fsync == WalFsyncPolicy::kBatch &&
+      wal_group_records < 1) {
+    return Status::Error(
+        "SplashServiceOptions.wal_group_records: must be >= 1 under "
+        "WalFsyncPolicy::kBatch");
+  }
+  return Status::Ok();
+}
 
 SplashService::SplashService(const SplashOptions& model_opts,
                              const SplashServiceOptions& opts)
@@ -76,6 +111,8 @@ void SplashService::InitLogFromWarmup(const Dataset& warmup) {
 
 Status SplashService::Start(const Dataset& warmup, const ChronoSplit& split,
                             const TrainerOptions* fit) {
+  Status vst = opts_.Validate();
+  if (!vst.ok()) return vst;
   if (!opts_.data_dir.empty()) {
     return Status::Error(
         "SplashService::Start: data_dir is set — use RecoverOrStart()");
@@ -111,6 +148,8 @@ Status SplashService::RecoverOrStart(const Dataset& warmup,
                                      const ChronoSplit& split,
                                      const TrainerOptions* fit) {
   if (opts_.data_dir.empty()) return Start(warmup, split, fit);
+  Status vst = opts_.Validate();
+  if (!vst.ok()) return vst;
   if (running_.load()) {
     return Status::Error("SplashService::RecoverOrStart: already running");
   }
@@ -235,8 +274,10 @@ void SplashService::RecordIngestNs(uint64_t ns) {
   stripe.hist.RecordNs(ns);
 }
 
-bool SplashService::IngestEdge(const TemporalEdge& e) {
-  if (!running_.load(std::memory_order_acquire)) return false;
+IngestResult SplashService::IngestEdge(const TemporalEdge& e) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return IngestResult::kStopped;
+  }
   // Boundary validation: an invalid endpoint or non-finite timestamp is
   // rejected here (counted as a drop) so the apply thread can treat every
   // queued edge as appendable — and so a sentinel id can never size the
@@ -244,7 +285,7 @@ bool SplashService::IngestEdge(const TemporalEdge& e) {
   if (e.src == kInvalidNode || e.dst == kInvalidNode ||
       !std::isfinite(e.time)) {
     ingest_dropped_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    return IngestResult::kInvalid;
   }
   IngestItem item;
   item.kind = IngestItem::Kind::kEdge;
@@ -259,16 +300,22 @@ bool SplashService::IngestEdge(const TemporalEdge& e) {
     ingest_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   RecordIngestNs(ns);
-  return ok;
+  if (ok) return IngestResult::kAccepted;
+  // Push fails either because Stop() raced us or the kDropNewest ring was
+  // full; only the latter is retryable.
+  return queue_.stopped() ? IngestResult::kStopped
+                          : IngestResult::kBacklogDropped;
 }
 
-bool SplashService::SubmitTrain(const PropertyQuery& q) {
-  if (!running_.load(std::memory_order_acquire) ||
-      !opts_.train_on_ingest_labels) {
-    if (opts_.train_on_ingest_labels) {
-      train_dropped_.fetch_add(1, std::memory_order_relaxed);
-    }
-    return false;
+IngestResult SplashService::SubmitTrain(const PropertyQuery& q) {
+  if (!opts_.train_on_ingest_labels) {
+    // Feedback is administratively off: not counted as a drop (nothing
+    // was promised), and never retryable.
+    return IngestResult::kInvalid;
+  }
+  if (!running_.load(std::memory_order_acquire)) {
+    train_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return IngestResult::kStopped;
   }
   IngestItem item;
   item.kind = IngestItem::Kind::kTrain;
@@ -283,7 +330,9 @@ bool SplashService::SubmitTrain(const PropertyQuery& q) {
     train_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   RecordIngestNs(ns);
-  return ok;
+  if (ok) return IngestResult::kAccepted;
+  return queue_.stopped() ? IngestResult::kStopped
+                          : IngestResult::kBacklogDropped;
 }
 
 TemporalEdge SplashService::AppendEdgeToLog(TemporalEdge e) {
@@ -523,93 +572,84 @@ uint64_t SplashService::published_seq() const {
   return seq;
 }
 
+void SplashService::PublishedWatermark(uint64_t* seq, double* time) const {
+  const uint32_t idx = gate_.Pin();
+  *seq = wm_seq_[idx];
+  *time = wm_time_[idx];
+  gate_.Unpin(idx);
+}
+
+CompositeWatermark SplashService::Watermark() const {
+  CompositeWatermark w;
+  ShardWatermark s;
+  PublishedWatermark(&s.seq, &s.time);
+  w.shards.push_back(s);
+  w.min_seq = w.total_seq = s.seq;
+  w.max_time = s.time;
+  return w;
+}
+
+ServeCounters SplashService::Counters() const {
+  ServeCounters c;
+  c.ingest_accepted = ingest_accepted_.load(std::memory_order_relaxed);
+  c.ingest_dropped = ingest_dropped_.load(std::memory_order_relaxed);
+  c.train_accepted = train_accepted_.load(std::memory_order_relaxed);
+  c.train_dropped = train_dropped_.load(std::memory_order_relaxed);
+  c.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  c.train_steps = train_steps_.load(std::memory_order_relaxed);
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.unseen_node_queries =
+      unseen_node_queries_.load(std::memory_order_relaxed);
+  c.coalesced_groups = coalescer_.groups();
+  c.coalesced_callers = coalescer_.coalesced_callers();
+  c.direct_calls = coalescer_.direct_calls();
+  c.novel_ingest_nodes = novel_ingest_nodes_.load(std::memory_order_relaxed);
+  c.time_regressions = time_regressions_.load(std::memory_order_relaxed);
+  c.queue_depth = queue_.size();
+  c.queue_high_watermark = queue_.high_watermark();
+  c.wal_records = wal_records_.load(std::memory_order_relaxed);
+  c.wal_fsyncs = wal_fsyncs_.load(std::memory_order_relaxed);
+  c.wal_io_errors = wal_io_errors_.load(std::memory_order_relaxed);
+  c.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  c.recovered_seq = recovered_seq_;
+  c.recovery_replayed_batches =
+      recovery_replayed_.load(std::memory_order_relaxed);
+  c.degraded = degraded_.load(std::memory_order_relaxed);
+  PublishedWatermark(&c.published_seq, &c.published_time);
+  return c;
+}
+
+void SplashService::MergeEndpointHistograms(LatencyHistogram* ingest,
+                                            LatencyHistogram* apply) const {
+  for (HistStripe& stripe : ingest_hist_) {
+    std::lock_guard<std::mutex> lk(stripe.mu);
+    ingest->Merge(stripe.hist);
+  }
+  std::lock_guard<std::mutex> lk(hist_mu_);
+  apply->Merge(apply_hist_);
+}
+
 ServeStats SplashService::Stats() const {
   ServeStats st;
-  st.counters.ingest_accepted =
-      ingest_accepted_.load(std::memory_order_relaxed);
-  st.counters.ingest_dropped = ingest_dropped_.load(std::memory_order_relaxed);
-  st.counters.train_accepted = train_accepted_.load(std::memory_order_relaxed);
-  st.counters.train_dropped = train_dropped_.load(std::memory_order_relaxed);
-  st.counters.batches_applied =
-      batches_applied_.load(std::memory_order_relaxed);
-  st.counters.train_steps = train_steps_.load(std::memory_order_relaxed);
-  st.counters.queries = queries_.load(std::memory_order_relaxed);
-  st.counters.unseen_node_queries =
-      unseen_node_queries_.load(std::memory_order_relaxed);
-  st.counters.coalesced_groups = coalescer_.groups();
-  st.counters.coalesced_callers = coalescer_.coalesced_callers();
-  st.counters.direct_calls = coalescer_.direct_calls();
-  st.counters.novel_ingest_nodes =
-      novel_ingest_nodes_.load(std::memory_order_relaxed);
-  st.counters.time_regressions =
-      time_regressions_.load(std::memory_order_relaxed);
-  st.counters.queue_depth = queue_.size();
-  st.counters.queue_high_watermark = queue_.high_watermark();
-  st.counters.wal_records = wal_records_.load(std::memory_order_relaxed);
-  st.counters.wal_fsyncs = wal_fsyncs_.load(std::memory_order_relaxed);
-  st.counters.wal_io_errors = wal_io_errors_.load(std::memory_order_relaxed);
-  st.counters.checkpoints_written =
-      checkpoints_written_.load(std::memory_order_relaxed);
-  st.counters.recovered_seq = recovered_seq_;
-  st.counters.recovery_replayed_batches =
-      recovery_replayed_.load(std::memory_order_relaxed);
-  st.counters.degraded = degraded_.load(std::memory_order_relaxed);
-  {
-    const uint32_t idx = gate_.Pin();
-    st.counters.published_seq = wm_seq_[idx];
-    st.counters.published_time = wm_time_[idx];
-    gate_.Unpin(idx);
-  }
-  {
-    LatencyHistogram ingest_merged;
-    for (HistStripe& stripe : ingest_hist_) {
-      std::lock_guard<std::mutex> lk(stripe.mu);
-      ingest_merged.Merge(stripe.hist);
-    }
-    st.ingest = ingest_merged.Summarize();
-  }
-  {
-    std::lock_guard<std::mutex> lk(hist_mu_);
-    st.apply = apply_hist_.Summarize();
-  }
-  LatencyHistogram merged;
-  {
-    std::lock_guard<std::mutex> lk(clients_mu_);
-    merged.Merge(retired_predict_hist_);
-    for (ServeClient* c : clients_) {
-      std::lock_guard<std::mutex> ck(c->hist_mu_);
-      merged.Merge(c->predict_hist_);
-    }
-  }
-  st.predict = merged.Summarize();
+  st.counters = Counters();
+  LatencyHistogram ingest_merged, apply_merged;
+  MergeEndpointHistograms(&ingest_merged, &apply_merged);
+  st.ingest = ingest_merged.Summarize();
+  st.apply = apply_merged.Summarize();
+  st.predict = MergedClientHistogram().Summarize();
   return st;
 }
 
 // ---------------------------------------------------------------------------
-// ServeClient
-// ---------------------------------------------------------------------------
-
-ServeClient::ServeClient(SplashService* service) : service_(service) {
-  std::lock_guard<std::mutex> lk(service_->clients_mu_);
-  service_->clients_.push_back(this);
-}
-
-ServeClient::~ServeClient() {
-  std::lock_guard<std::mutex> lk(service_->clients_mu_);
-  auto& cs = service_->clients_;
-  cs.erase(std::remove(cs.begin(), cs.end(), this), cs.end());
-  // A departed client's samples stay in the service-level digest.
-  service_->retired_predict_hist_.Merge(predict_hist_);
-}
-
-// ---------------------------------------------------------------------------
-// Read path (DESIGN.md §5b). Every Predict* call funnels through the
-// into-response overload: uncontended callers take the direct per-query
-// path (pin, fused forward into client scratch, copy out after unpin);
-// contended callers are combined by the QueryCoalescer into one snapshot
-// pin + one fused batch forward, led by one of them. Either way the
-// snapshot critical section holds only replica reads — the score copy-out,
-// deadline check, and latency-histogram record all happen after Unpin.
+// Read path (DESIGN.md §5b). Every ServeClient::Predict* call funnels into
+// ScoreQueries: uncontended callers take the direct per-query path (pin,
+// fused forward into client scratch, copy out after unpin); contended
+// callers are combined by the QueryCoalescer into one snapshot pin + one
+// fused batch forward, led by one of them. Either way the snapshot
+// critical section holds only replica reads — the score copy-out happens
+// after Unpin, and the client's deadline/latency epilogue lives outside
+// the service entirely (serve/shard.cc).
 // ---------------------------------------------------------------------------
 
 void SplashService::ExecuteCoalescedGroupThunk(void* ctx,
@@ -656,6 +696,7 @@ void SplashService::ExecuteCoalescedGroup(QuerySlot* const* slots, size_t n) {
     resp->score = 0.0;
     resp->watermark_seq = wm_seq;
     resp->watermark_time = wm_time;
+    resp->shard_watermarks.clear();  // single-service response
     resp->degraded = degraded;
     resp->deadline_exceeded = false;  // each caller re-checks after wakeup
   }
@@ -666,37 +707,36 @@ void SplashService::ExecuteCoalescedGroup(QuerySlot* const* slots, size_t n) {
   }
 }
 
-void ServeClient::Predict(const std::vector<PropertyQuery>& queries,
-                          ServeResponse* resp, double timeout_s) {
-  WallTimer timer;
-  SplashService* s = service_;
+void SplashService::ScoreQueries(const std::vector<PropertyQuery>& queries,
+                                 ClientScratch* scratch, ServeResponse* resp) {
   resp->score = 0.0;
   resp->deadline_exceeded = false;
   // Acquire on started_ is the happens-before edge to the replica
-  // pointers: a Predict racing Start() sees false and returns empty
-  // rather than reading half-prepared state.
-  if (!s->started_.load(std::memory_order_acquire)) {
+  // pointers: a call racing Start() sees false and returns empty rather
+  // than reading half-prepared state.
+  if (!started_.load(std::memory_order_acquire)) {
     resp->scores.Resize(0, 0);
     resp->watermark_seq = 0;
     resp->watermark_time = 0.0;
+    resp->shard_watermarks.clear();
     resp->degraded = false;
     return;
   }
   QuerySlot slot;
   slot.queries = &queries;
   slot.resp = resp;
-  if (!s->coalescer_.Submit(&slot)) {
+  if (!coalescer_.Submit(&slot)) {
     // Direct path (uncontended / coalescing off / ring full).
-    const uint32_t idx = s->gate_.Pin();
-    const SplashPredictor* rep = s->replicas_[idx].get();
-    resp->watermark_seq = s->wm_seq_[idx];
-    resp->watermark_time = s->wm_time_[idx];
-    const Matrix& out = rep->PredictBatchConst(queries, &scratch_);
+    const uint32_t idx = gate_.Pin();
+    const SplashPredictor* rep = replicas_[idx].get();
+    resp->watermark_seq = wm_seq_[idx];
+    resp->watermark_time = wm_time_[idx];
+    const Matrix& out = rep->PredictBatchConst(queries, &scratch->predict);
     uint64_t unseen = 0;
     for (const PropertyQuery& q : queries) {
       if (!rep->augmenter().seen(q.node)) ++unseen;
     }
-    s->gate_.Unpin(idx);
+    gate_.Unpin(idx);
     // The copy-out reads client-owned scratch, so it no longer needs the
     // pin — the snapshot critical section ends at the last replica read.
     resp->scores.Resize(out.rows(), out.cols());
@@ -704,98 +744,20 @@ void ServeClient::Predict(const std::vector<PropertyQuery>& queries,
       std::memcpy(resp->scores.Row(i), out.Row(i),
                   out.cols() * sizeof(float));
     }
+    resp->shard_watermarks.clear();  // single-service response
     // Degraded: a durability error happened, or recovery replay is still
     // ahead of the snapshot that answered (the answer is honest about its
     // watermark either way — this flags that a fresher state is known).
     resp->degraded =
-        s->degraded_.load(std::memory_order_relaxed) ||
+        degraded_.load(std::memory_order_relaxed) ||
         resp->watermark_seq <
-            s->recovery_target_seq_.load(std::memory_order_relaxed);
-    s->queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+            recovery_target_seq_.load(std::memory_order_relaxed);
+    queries_.fetch_add(queries.size(), std::memory_order_relaxed);
     if (unseen > 0) {
-      s->unseen_node_queries_.fetch_add(unseen, std::memory_order_relaxed);
+      unseen_node_queries_.fetch_add(unseen, std::memory_order_relaxed);
     }
-    s->coalescer_.EndDirect();
+    coalescer_.EndDirect();
   }
-  // Per-caller epilogue, shared by both paths and outside any pin: the
-  // deadline is re-checked against this caller's own wall clock (a
-  // coalesced caller that lingered past its deadline is answered
-  // late-but-flagged, never dropped), and the latency sample includes the
-  // full wait.
-  const uint64_t ns = timer.Nanos();
-  if (timeout_s > 0.0 && static_cast<double>(ns) > timeout_s * 1e9) {
-    resp->deadline_exceeded = true;
-  }
-  {
-    std::lock_guard<std::mutex> lk(hist_mu_);
-    predict_hist_.RecordNs(ns);
-  }
-}
-
-ServeResponse ServeClient::Predict(const std::vector<PropertyQuery>& queries,
-                                   double timeout_s) {
-  ServeResponse resp;
-  Predict(queries, &resp, timeout_s);
-  return resp;
-}
-
-void ServeClient::PredictNode(NodeId node, double time, ServeResponse* resp,
-                              double timeout_s) {
-  query_scratch_.resize(1);
-  query_scratch_[0] = PropertyQuery{node, time, 0};
-  Predict(query_scratch_, resp, timeout_s);
-  if (resp->scores.rows() == 1 && resp->scores.cols() >= 2) {
-    resp->score =
-        static_cast<double>(resp->scores(0, 1)) - resp->scores(0, 0);
-  }
-}
-
-ServeResponse ServeClient::PredictNode(NodeId node, double time,
-                                       double timeout_s) {
-  ServeResponse resp;
-  PredictNode(node, time, &resp, timeout_s);
-  return resp;
-}
-
-bool ServeClient::IngestEdgeWithRetry(const TemporalEdge& e, int max_attempts,
-                                      double initial_backoff_s) {
-  SplashService* s = service_;
-  if (e.src == kInvalidNode || e.dst == kInvalidNode ||
-      !std::isfinite(e.time)) {
-    return s->IngestEdge(e);  // boundary rejection: retrying cannot help
-  }
-  double backoff = initial_backoff_s > 0.0 ? initial_backoff_s : 0.0005;
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    if (s->IngestEdge(e)) return true;
-    if (!s->running_.load(std::memory_order_acquire)) return false;
-    if (attempt + 1 == max_attempts) break;
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(std::min(backoff, 0.1)));
-    backoff *= 2.0;
-  }
-  return false;
-}
-
-void ServeClient::ScoreEdge(NodeId src, NodeId dst, double time,
-                            ServeResponse* resp, double timeout_s) {
-  query_scratch_.resize(2);
-  query_scratch_[0] = PropertyQuery{src, time, 0};
-  query_scratch_[1] = PropertyQuery{dst, time, 0};
-  Predict(query_scratch_, resp, timeout_s);
-  if (resp->scores.rows() == 2 && resp->scores.cols() >= 2) {
-    const double ms =
-        static_cast<double>(resp->scores(0, 1)) - resp->scores(0, 0);
-    const double md =
-        static_cast<double>(resp->scores(1, 1)) - resp->scores(1, 0);
-    resp->score = ms > md ? ms : md;
-  }
-}
-
-ServeResponse ServeClient::ScoreEdge(NodeId src, NodeId dst, double time,
-                                     double timeout_s) {
-  ServeResponse resp;
-  ScoreEdge(src, dst, time, &resp, timeout_s);
-  return resp;
 }
 
 }  // namespace splash

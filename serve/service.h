@@ -39,6 +39,10 @@
 // ingest stream, and timestamp regressions — the quantities the
 // robustness-under-shift literature tracks, surfaced where an operator
 // would watch them.
+//
+// The service is one QueryBackend (serve/shard.h); N of them compose into
+// a node-partitioned ShardedSplashService (serve/router.h) behind the same
+// interface.
 
 #ifndef SPLASH_SERVE_SERVICE_H_
 #define SPLASH_SERVE_SERVICE_H_
@@ -47,6 +51,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -61,6 +66,7 @@
 #include "runtime/pipeline.h"
 #include "serve/coalescer.h"
 #include "serve/ingest_queue.h"
+#include "serve/shard.h"
 #include "serve/snapshot.h"
 #include "serve/wal.h"
 
@@ -113,73 +119,19 @@ struct SplashServiceOptions {
   /// and the crash harness disable this to keep the full apply history
   /// available for the bit-exact recovery oracle.
   bool gc_wal_on_checkpoint = true;
+
+  /// Field-named sanity check, run by Start/RecoverOrStart before any
+  /// thread or file is touched: a misconfigured service refuses to start
+  /// with an error naming the offending field instead of deadlocking or
+  /// silently disabling a layer at runtime.
+  Status Validate() const;
 };
 
-/// One answered query. `watermark_seq` edges (and every train batch at or
-/// before that boundary) are reflected in `scores`; `watermark_time` is
-/// the timestamp of the last reflected edge (0 when none).
-struct ServeResponse {
-  Matrix scores;               // B x out_dim class scores
-  double score = 0.0;          // convenience margin (see PredictNode/ScoreEdge)
-  uint64_t watermark_seq = 0;
-  double watermark_time = 0.0;
-  /// True while the snapshot trails what recovery knows is durable (WAL
-  /// replay still catching up) or after a durability I/O error put the
-  /// service into degraded (serving-but-not-logging) mode.
-  bool degraded = false;
-  /// Set when the caller passed a deadline to PredictNode/ScoreEdge/Predict
-  /// and the call overran it (the answer is still returned — the flag lets
-  /// the caller decide whether a late answer is a useful answer).
-  bool deadline_exceeded = false;
-};
-
-/// Monotone counters of the service boundary (drift/quality signals).
-struct ServeCounters {
-  uint64_t ingest_accepted = 0;
-  uint64_t ingest_dropped = 0;
-  uint64_t train_accepted = 0;
-  uint64_t train_dropped = 0;
-  uint64_t batches_applied = 0;
-  uint64_t train_steps = 0;
-  uint64_t queries = 0;
-  uint64_t unseen_node_queries = 0;  // queried node not in the train seen set
-  // Read-path coalescing (DESIGN.md §5b).
-  uint64_t coalesced_groups = 0;    // leader rounds executed
-  uint64_t coalesced_callers = 0;   // Predict* calls answered via a group
-  uint64_t direct_calls = 0;        // bypass / fallback per-query calls
-  uint64_t novel_ingest_nodes = 0;   // ids first observed by the service
-  uint64_t time_regressions = 0;     // out-of-order timestamps clamped
-  uint64_t published_seq = 0;
-  double published_time = 0.0;
-  size_t queue_depth = 0;
-  size_t queue_high_watermark = 0;  // max depth ever observed
-  // Durability counters (all zero when data_dir is unset).
-  uint64_t wal_records = 0;
-  uint64_t wal_fsyncs = 0;
-  uint64_t wal_io_errors = 0;
-  uint64_t checkpoints_written = 0;
-  uint64_t recovered_seq = 0;             // watermark recovery restored to
-  uint64_t recovery_replayed_batches = 0; // WAL records replayed at recovery
-  bool degraded = false;
-};
-
-struct ServeStats {
-  ServeCounters counters;
-  LatencySummary predict;  // per-query latency, merged over clients
-  LatencySummary ingest;   // producer enqueue latency (incl. block time)
-  LatencySummary apply;    // per-micro-batch apply latency
-};
-
-class ServeClient;
-
-class SplashService {
+class SplashService final : public QueryBackend {
  public:
   SplashService(const SplashOptions& model_opts,
                 const SplashServiceOptions& opts);
-  ~SplashService();
-
-  SplashService(const SplashService&) = delete;
-  SplashService& operator=(const SplashService&) = delete;
+  ~SplashService() override;
 
   /// Prepares both replicas on `warmup` (feature fitting + selection and,
   /// when `fit` is non-null, a full StreamTrainer::Fit — deterministic, so
@@ -200,31 +152,48 @@ class SplashService {
   Status RecoverOrStart(const Dataset& warmup, const ChronoSplit& split,
                         const TrainerOptions* fit = nullptr);
 
-  /// Enqueues one edge. Returns false when rejected at the boundary
-  /// (invalid endpoint / non-finite timestamp — counted as
-  /// ingest_dropped) or dropped (kDropNewest backlog, service not
-  /// running). Out-of-order timestamps are clamped to the log's max at
-  /// apply time (counted as time_regressions).
-  bool IngestEdge(const TemporalEdge& e);
+  // ---- QueryBackend (serve/shard.h) ----
+
+  /// The canonical read path: scores `queries` against the pinned front
+  /// replica into `resp` (uncontended callers take the direct per-query
+  /// path; contended callers may be combined by the QueryCoalescer — same
+  /// scores bit-for-bit). Wait-free with respect to ingest. A call racing
+  /// Start() returns an empty response rather than reading half-prepared
+  /// state.
+  void ScoreQueries(const std::vector<PropertyQuery>& queries,
+                    ClientScratch* scratch, ServeResponse* resp) override;
+
+  /// Enqueues one edge. kInvalid on boundary rejection (invalid endpoint /
+  /// non-finite timestamp — counted as ingest_dropped), kBacklogDropped on
+  /// a kDropNewest backlog drop, kStopped when not running. Out-of-order
+  /// timestamps are clamped to the log's max at apply time (counted as
+  /// time_regressions).
+  IngestResult IngestEdge(const TemporalEdge& e) override;
 
   /// Enqueues one labeled training query, applied as part of a staged
   /// train step at the next micro-batch boundary (after that batch's
-  /// edges). Returns false when dropped.
-  bool SubmitTrain(const PropertyQuery& q);
+  /// edges). kInvalid when train_on_ingest_labels is off.
+  IngestResult SubmitTrain(const PropertyQuery& q) override;
 
   /// Blocks until everything accepted before the call is applied AND
   /// published. No-op when not running.
-  void Flush();
+  void Flush() override;
 
   /// Drains the queue, applies the tail, stops the apply thread. Queries
   /// remain valid after Stop() (the final snapshot stays published).
   /// Idempotent and safe before Start(): a never-started service ignores
   /// the call (and its queue stays usable for a later Start).
-  void Stop();
+  void Stop() override;
 
-  bool running() const { return running_; }
-  ServeStats Stats() const;
-  uint64_t published_seq() const;
+  bool running() const override { return running_; }
+  ServeStats Stats() const override;
+  uint64_t published_seq() const override;
+  /// One-shard composite: a single (0, seq, time) entry read consistently
+  /// under one pin.
+  CompositeWatermark Watermark() const override;
+
+  // ---- Single-service surface ----
+
   /// Sticky degraded flag: set on durability I/O errors and on WAL replay
   /// gaps at recovery — "serving, but not everything promised durable/
   /// recoverable held". Never set while data_dir is unset.
@@ -234,6 +203,16 @@ class SplashService {
   bool recovered_from_checkpoint() const {
     return recovered_from_checkpoint_;
   }
+
+  /// Counters only (no histogram merge) — the router aggregates shards
+  /// via ServeCounters::MergeFrom without summarizing twice.
+  ServeCounters Counters() const;
+  /// Folds this service's endpoint histograms into the given accumulators
+  /// (exact bucket-wise merges; Stats() and the router build on this).
+  void MergeEndpointHistograms(LatencyHistogram* ingest,
+                               LatencyHistogram* apply) const;
+  /// The published (seq, time) pair, read consistently under one pin.
+  void PublishedWatermark(uint64_t* seq, double* time) const;
 
   /// Test hooks — stable only while quiescent (after Flush() with no
   /// concurrent producers, or after Stop()).
@@ -255,8 +234,6 @@ class SplashService {
   void SerializePredictorState(ByteWriter* w) const;
 
  private:
-  friend class ServeClient;
-
   /// Leader-side execution of one coalesced read group: gathers every
   /// slot's queries into one batch, pins the snapshot ONCE, runs the fused
   /// batch forward with leader-owned scratch, then scatters score rows and
@@ -327,8 +304,8 @@ class SplashService {
   // Endpoint histograms. Ingest-enqueue latency is striped by producer
   // thread (hash of thread id) so concurrent producers do not serialize
   // on one mutex just to bump a bucket; the apply histogram has a single
-  // writer and shares the stats lock. Per-client predict histograms are
-  // merged by Stats() under clients_mu_.
+  // writer and shares the stats lock. Per-client predict histograms live
+  // with the clients and are merged via the QueryBackend registry.
   static constexpr size_t kIngestHistStripes = 8;
   struct HistStripe {
     std::mutex mu;
@@ -338,9 +315,6 @@ class SplashService {
   void RecordIngestNs(uint64_t ns);
   mutable std::mutex hist_mu_;
   LatencyHistogram apply_hist_;
-  mutable std::mutex clients_mu_;
-  std::vector<ServeClient*> clients_;
-  LatencyHistogram retired_predict_hist_;  // folded in on client unregister
 
   // Apply-thread state.
   std::vector<IngestItem> batch_scratch_;
@@ -365,64 +339,6 @@ class SplashService {
   std::atomic<uint64_t> recovery_target_seq_{0};
   std::atomic<uint64_t> wal_records_{0}, wal_fsyncs_{0}, wal_io_errors_{0};
   std::atomic<uint64_t> checkpoints_written_{0}, recovery_replayed_{0};
-};
-
-/// A reader handle: owns the per-thread query scratch and the per-client
-/// predict latency histogram. One per reader thread; must not outlive the
-/// service. Queries are wait-free with respect to ingest.
-class ServeClient {
- public:
-  explicit ServeClient(SplashService* service);
-  ~ServeClient();
-
-  ServeClient(const ServeClient&) = delete;
-  ServeClient& operator=(const ServeClient&) = delete;
-
-  /// Scores a batch of property queries against the current snapshot.
-  /// `timeout_s` > 0 sets a per-call deadline: the answer is always
-  /// computed (queries never block on ingest, so there is nothing to
-  /// cancel), but `deadline_exceeded` is set when the call overran it.
-  /// Under concurrency the call may be answered by a coalesced group
-  /// (DESIGN.md §5b) — same scores bit-for-bit, one shared snapshot pin.
-  ServeResponse Predict(const std::vector<PropertyQuery>& queries,
-                        double timeout_s = 0.0);
-
-  /// Same, scoring into a caller-owned response. `resp`'s score matrix is
-  /// grow-only, so reusing one response across calls keeps the steady-state
-  /// single-caller read path allocation-free (the counting-allocator gate
-  /// in tests/serve_coalesce_test.cc pins this).
-  void Predict(const std::vector<PropertyQuery>& queries, ServeResponse* resp,
-               double timeout_s = 0.0);
-
-  /// Scores one node; `score` = class-1 margin (scores(0,1) - scores(0,0)).
-  ServeResponse PredictNode(NodeId node, double time, double timeout_s = 0.0);
-  void PredictNode(NodeId node, double time, ServeResponse* resp,
-                   double timeout_s = 0.0);
-
-  /// Scores an edge as max of its endpoints' class-1 margins (the
-  /// service-level anomaly score; both endpoints share one snapshot).
-  ServeResponse ScoreEdge(NodeId src, NodeId dst, double time,
-                          double timeout_s = 0.0);
-  void ScoreEdge(NodeId src, NodeId dst, double time, ServeResponse* resp,
-                 double timeout_s = 0.0);
-
-  /// Bounded retry-with-backoff around IngestEdge for kBlock-mode bursts:
-  /// retries a rejected push up to `max_attempts` times, sleeping
-  /// `initial_backoff_s` doubled per attempt (capped at 100ms). Returns
-  /// false once attempts are exhausted or the service stopped — the
-  /// boundary-validation rejections (invalid id, non-finite time) are
-  /// never retried; they cannot succeed.
-  bool IngestEdgeWithRetry(const TemporalEdge& e, int max_attempts = 4,
-                           double initial_backoff_s = 0.0005);
-
- private:
-  friend class SplashService;
-
-  SplashService* service_;
-  SplashQueryScratch scratch_;
-  std::vector<PropertyQuery> query_scratch_;  // for the 1-2 row endpoints
-  std::mutex hist_mu_;  // Record vs Stats() merge
-  LatencyHistogram predict_hist_;
 };
 
 }  // namespace splash
