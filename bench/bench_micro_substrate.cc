@@ -18,6 +18,7 @@
 #include "graph/neighbor_memory.h"
 #include "runtime/thread_pool.h"
 #include "tensor/matrix.h"
+#include "tensor/packed.h"
 #include "tensor/rng.h"
 #include "tensor/simd.h"
 
@@ -130,8 +131,64 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
 }
-// The neighbor-message GEMM (B*K x Dv+Dt @ W1) and the head GEMM shapes.
-BENCHMARK(BM_MatMul)->Args({256, 48, 64})->Args({2560, 48, 64});
+// The neighbor-message GEMM (B*K x Dv+Dt @ W1) and the head GEMM shapes,
+// plus a B-exceeds-L2 shape (2048x1024 fp32 B = 8 MB) where the unpacked
+// row-major B walk thrashes: the packed sibling row below must beat this
+// one by >= 1.5x (check_bench_regression.py gates the pair).
+BENCHMARK(BM_MatMul)
+    ->Args({256, 48, 64})
+    ->Args({2560, 48, 64})
+    ->Args({32, 2048, 1024});
+
+// Packed-B / k-blocked GEMM (DESIGN.md §6): B re-tiled once into
+// (k-block x 16-col-panel) panels sized to L2, then reused every call —
+// the serve read-path shape (pack at publish, stream at query). The
+// {1, 1024, 64} row is the batch-1 wide-hidden serve case that motivated
+// packing: the unpacked kernels stride B by the row pitch, so at small
+// batch the walk is TLB/prefetch-bound (on -march=native builds it
+// measurably lost to the autovectorized scalar loop — the ROADMAP item
+// this layer closes); packed panels make every 64-byte line fully
+// consumed.
+void BM_MatMulPacked(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const size_t n = static_cast<size_t>(state.range(2));
+  Rng rng(25);
+  const Matrix a = Matrix::Gaussian(m, k, &rng);
+  const Matrix b = Matrix::Gaussian(k, n, &rng);
+  PackedMatrix pb;
+  pb.PackFrom(b);  // pack once, reuse many — the serving amortization
+  Matrix c(m, n);
+  for (auto _ : state) {
+    MatMulPackedRange(a, pb, &c, 0, m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_MatMulPacked)
+    ->Args({2560, 48, 64})
+    ->Args({1, 1024, 64})
+    ->Args({32, 2048, 1024});
+
+// bf16 packed sibling of the B>L2 row: half the panel bytes streamed
+// (widening loads, fp32 accumulation) — the read-replica storage variant.
+void BM_MatMulPacked16(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const size_t n = static_cast<size_t>(state.range(2));
+  Rng rng(26);
+  const Matrix a = Matrix::Gaussian(m, k, &rng);
+  const Matrix b = Matrix::Gaussian(k, n, &rng);
+  PackedMatrix16 pb;
+  pb.PackFrom(b);
+  Matrix c(m, n);
+  for (auto _ : state) {
+    MatMulPacked16BiasActRange(a, pb, &c, 0, m, nullptr, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_MatMulPacked16)->Args({32, 2048, 1024});
 
 void BM_MatMulTransA(benchmark::State& state) {
   const size_t r = static_cast<size_t>(state.range(0));
@@ -198,6 +255,41 @@ void BM_SlimForwardFused(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_SlimForwardFused)->Arg(256);
+
+// Batch-1, wide hidden (fd=64, h=1024): the serve-p50 shape that exposed
+// the cache-unfriendly unpacked kernel — at m=1 the strided B walk
+// touches every W row per output, and pre-packing the avx512 backend ran
+// far below its large-batch speedup here (below scalar on native
+// builds). With packed dispatch (default) this row is gated at >= 1.0x
+// the scalar backend via the avx512_speedup side-run stamp
+// (check_bench_regression.py --context-speedup).
+void BM_SlimForwardFusedWideB1(benchmark::State& state) {
+  SlimOptions opts;
+  opts.feature_dim = 64;
+  opts.time_dim = 16;
+  opts.hidden_dim = 1024;
+  opts.out_dim = 2;
+  opts.k_recent = 10;
+  opts.dropout = 0.0f;
+  Rng rng(27);
+  SlimModel slim(opts, &rng);
+  slim.SetTraining(false);
+
+  SlimBatchInput input;
+  input.node_feats = Matrix::Gaussian(1, 64, &rng);
+  input.neighbor_feats = Matrix::Gaussian(10, 64, &rng);
+  input.time_deltas.assign(10, 1.0);
+  input.mask = Matrix::Ones(1, 10);
+  input.edge_weights.assign(10, 1.0f);
+
+  SlimForwardScratch scratch;
+  for (auto _ : state) {
+    const Matrix& out = slim.PredictConst(input, &scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlimForwardFusedWideB1)->Name("BM_SlimForwardFused/wide_b1");
 
 void BM_SlimForward(benchmark::State& state) {
   const size_t batch = state.range(0);
@@ -369,6 +461,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::AddCustomContext("kernel_backend", splash::KernelBackendName());
   benchmark::AddCustomContext("cpu_features", splash::CpuFeatureString());
+  benchmark::AddCustomContext("cache_topology", splash::CacheTopologyString());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

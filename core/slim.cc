@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "runtime/thread_pool.h"
+#include "tensor/simd.h"
 
 namespace splash {
 
@@ -66,6 +67,31 @@ SlimModel::SlimModel(const SlimOptions& opts, Rng* rng)
   setup(&b3_, 1, h, 0);
   setup(&w4_, h, o, h);
   setup(&b4_, 1, o, 0);
+  PackWeights();
+}
+
+void SlimModel::PackWeights() {
+  const Matrix* ws[4] = {&w1_.w, &w2_.w, &w3_.w, &w4_.w};
+  for (size_t i = 0; i < 4; ++i) pw_[i].PackFrom(*ws[i]);
+  if (bf16_replica_) {
+    for (size_t i = 0; i < 4; ++i) pw16_[i].PackFrom(*ws[i]);
+  }
+}
+
+void SlimModel::SetReplicaPrecisionBf16(bool bf16) {
+  bf16_replica_ = bf16;
+  if (bf16) {
+    const Matrix* ws[4] = {&w1_.w, &w2_.w, &w3_.w, &w4_.w};
+    for (size_t i = 0; i < 4; ++i) pw16_[i].PackFrom(*ws[i]);
+  }
+}
+
+size_t SlimModel::PackedWeightBytes() const {
+  size_t total = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    total += bf16_replica_ ? pw16_[i].bytes() : pw_[i].bytes();
+  }
+  return total;
 }
 
 size_t SlimModel::ParamCount() const {
@@ -97,7 +123,9 @@ bool SlimModel::Deserialize(ByteReader* r) {
       return false;
     }
   }
-  return r->ok();
+  if (!r->ok()) return false;
+  PackWeights();
+  return true;
 }
 
 SlimModel::GradRefs SlimModel::MainGradRefs() {
@@ -145,9 +173,28 @@ void SlimModel::ResizeScratch(size_t b, bool for_training) {
   }
 }
 
+void SlimModel::DenseLayer(const Matrix& in, const Matrix& w,
+                           const float* bias, size_t pi, Matrix* out,
+                           size_t r0, size_t r1, bool relu,
+                           bool const_read) const {
+  // Packed and unpacked fused kernels are bit-identical per backend, so
+  // the pack knob never changes results — only which B layout streams.
+  // The bf16 operand is reserved for the const read path: training and
+  // Forward() always see full-precision weights.
+  if (GemmPackEnabled()) {
+    if (const_read && bf16_replica_) {
+      MatMulPacked16BiasActRange(in, pw16_[pi], out, r0, r1, bias, relu);
+    } else {
+      MatMulPackedBiasActRange(in, pw_[pi], out, r0, r1, bias, relu);
+    }
+    return;
+  }
+  MatMulBiasActRange(in, w, out, r0, r1, bias, relu);
+}
+
 void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
                              size_t r1, Rng* drop_rng,
-                             SlimForwardScratch* s) const {
+                             SlimForwardScratch* s, bool const_read) const {
   const size_t k = opts_.k_recent, dv = opts_.feature_dim,
                h = opts_.hidden_dim;
   const size_t n0 = r0 * k, n1 = r1 * k;  // neighbor-row range
@@ -162,8 +209,8 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
   // Bias add + ReLU ride the GEMM tile store (fused epilogue): one pass
   // over each activation matrix instead of three. The scalar backend
   // computes the identical arithmetic to the historical separate passes.
-  MatMulBiasActRange(s->cat1, w1_.w, &s->msg_pre, n0, n1, b1_.w.data(),
-                     /*relu=*/true);
+  DenseLayer(s->cat1, w1_.w, b1_.w.data(), 0, &s->msg_pre, n0, n1,
+             /*relu=*/true, const_read);
 
   for (size_t bi = r0; bi < r1; ++bi) {
     float wsum = 0.0f;
@@ -182,16 +229,16 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
   }
 
   // --- self branch ---------------------------------------------------------
-  MatMulBiasActRange(input.node_feats, w2_.w, &s->self_pre, r0, r1,
-                     b2_.w.data(), /*relu=*/true);
+  DenseLayer(input.node_feats, w2_.w, b2_.w.data(), 1, &s->self_pre, r0, r1,
+             /*relu=*/true, const_read);
 
   // --- head ----------------------------------------------------------------
   for (size_t bi = r0; bi < r1; ++bi) {
     std::memcpy(s->cat2.Row(bi), s->agg.Row(bi), h * sizeof(float));
     std::memcpy(s->cat2.Row(bi) + h, s->self_pre.Row(bi), h * sizeof(float));
   }
-  MatMulBiasActRange(s->cat2, w3_.w, &s->h_pre, r0, r1, b3_.w.data(),
-                     /*relu=*/true);
+  DenseLayer(s->cat2, w3_.w, b3_.w.data(), 2, &s->h_pre, r0, r1,
+             /*relu=*/true, const_read);
 
   if (drop_rng != nullptr && training_ && opts_.dropout > 0.0f) {
     const float keep = 1.0f - opts_.dropout;
@@ -207,8 +254,8 @@ void SlimModel::ForwardRange(const SlimBatchInput& input, size_t r0,
     }
   }
 
-  MatMulBiasActRange(s->h_pre, w4_.w, &s->out, r0, r1, b4_.w.data(),
-                     /*relu=*/false);
+  DenseLayer(s->h_pre, w4_.w, b4_.w.data(), 3, &s->out, r0, r1,
+             /*relu=*/false, const_read);
 }
 
 void SlimModel::ForwardAll(const SlimBatchInput& input, bool for_training) {
@@ -250,8 +297,9 @@ const Matrix& SlimModel::PredictConst(const SlimBatchInput& input,
                   opts_.hidden_dim, opts_.out_dim, /*dropout=*/false);
   // Serial, dropout-free: identical arithmetic to the eval-mode ForwardAll
   // (the parallel path computes the same per-row values), so snapshot
-  // reads are bit-identical to fused Forward on the same state.
-  ForwardRange(input, 0, b, nullptr, scratch);
+  // reads are bit-identical to fused Forward on the same state — unless
+  // the bf16 replica is on, which is tolerance-equivalent by design.
+  ForwardRange(input, 0, b, nullptr, scratch, /*const_read=*/true);
   return scratch->out;
 }
 
@@ -420,6 +468,9 @@ double SlimModel::TrainStep(const SlimBatchInput& input,
   AdamStep(&b3_);
   AdamStep(&w4_);
   AdamStep(&b4_);
+  // Re-pack the read-path operands from the stepped weights (grow-only, so
+  // allocation-free after the first step at a given shape).
+  PackWeights();
   return loss / static_cast<double>(b);
 }
 

@@ -42,6 +42,7 @@
 
 #include "core/serialize.h"
 #include "tensor/matrix.h"
+#include "tensor/packed.h"
 #include "tensor/rng.h"
 
 namespace splash {
@@ -119,6 +120,26 @@ class SlimModel {
   size_t ParamCount() const;
   const SlimOptions& options() const { return opts_; }
 
+  /// Switches the const read path (PredictConst) between fp32 packed
+  /// weights (default, the determinism reference: bit-identical to the
+  /// unpacked kernels per backend) and the bf16 packed replica
+  /// (half the weight-streaming bytes, fp32 accumulation,
+  /// tolerance-equivalent). Enabling packs the bf16 operands immediately;
+  /// training and Forward() always run fp32 either way.
+  void SetReplicaPrecisionBf16(bool bf16);
+  bool replica_precision_bf16() const { return bf16_replica_; }
+
+  /// Re-packs the read-path GEMM operands from the current weights
+  /// (pack-once / reuse-many). Runs automatically after construction,
+  /// every TrainStep, and a successful Deserialize; the serve layer also
+  /// calls it at snapshot publish so a replica's first read never packs.
+  void PackWeights();
+
+  /// Resident bytes of the packed weight operands the const read path
+  /// streams: the bf16 packs when the replica is bf16 (exactly half the
+  /// fp32 figure — same geometry, half the element width), else fp32.
+  size_t PackedWeightBytes() const;
+
   /// Checkpoint hooks: the learned state — every parameter matrix plus its
   /// Adam moments, the Adam step counter, and the train-call counter that
   /// tags the per-chunk dropout streams. Gradient matrices and activation
@@ -153,9 +174,18 @@ class SlimModel {
   /// Forward for batch rows [r0, r1) into `s` (disjoint rows per chunk).
   /// `drop_rng` non-null applies training dropout. Const: every mutated
   /// activation lives in the scratch, so readers with private scratch can
-  /// run this concurrently against frozen weights.
+  /// run this concurrently against frozen weights. `const_read` marks the
+  /// PredictConst path — the only one eligible for the bf16 replica.
   void ForwardRange(const SlimBatchInput& input, size_t r0, size_t r1,
-                    Rng* drop_rng, SlimForwardScratch* s) const;
+                    Rng* drop_rng, SlimForwardScratch* s,
+                    bool const_read = false) const;
+  /// One fused dense layer (GEMM + bias + optional ReLU): the packed
+  /// kernels when the pack tier is on (bf16 operand iff const_read and the
+  /// replica is bf16), the unpacked fused kernel otherwise. `pi` indexes
+  /// the pack slot of `w` (w1..w4 -> 0..3).
+  void DenseLayer(const Matrix& in, const Matrix& w, const float* bias,
+                  size_t pi, Matrix* out, size_t r0, size_t r1, bool relu,
+                  bool const_read) const;
   /// Runs ResizeScratch + ForwardRange serial or chunk-parallel.
   void ForwardAll(const SlimBatchInput& input, bool for_training);
   /// Softmax/CE + backprop for batch rows [r0, r1): gradient contributions
@@ -178,6 +208,13 @@ class SlimModel {
   uint64_t train_calls_ = 0;  // tags the per-chunk dropout streams
 
   Param w1_, b1_, w2_, b2_, w3_, b3_, w4_, b4_;
+
+  // Read-path GEMM operands (tensor/packed.h), repacked by PackWeights on
+  // every weight mutation so the const read path never packs. The bf16
+  // packs are maintained only while bf16_replica_ is set.
+  PackedMatrix pw_[4];
+  PackedMatrix16 pw16_[4];
+  bool bf16_replica_ = false;
 
   // Forward scratch for the fused (non-const) paths, kept across calls
   // (grow-only). The const PredictConst path uses caller scratch instead.

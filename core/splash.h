@@ -107,6 +107,22 @@ class SplashPredictor : public TemporalPredictor {
   const NeighborMemory& memory() const { return memory_; }
   size_t input_dim() const { return input_dim_; }
 
+  /// Read-replica precision (core/slim.h): bf16 halves the packed weight
+  /// bytes the const query path streams; fp32 (default) stays the
+  /// determinism reference. Sticky — applied to the SLIM model now (if it
+  /// exists) and re-applied whenever Prepare()/DeserializeState rebuilds
+  /// it.
+  void SetReplicaPrecisionBf16(bool bf16);
+  bool replica_precision_bf16() const { return bf16_replica_; }
+
+  /// Re-packs SLIM's read-path GEMM operands from the current weights.
+  /// The serving layer calls this when a snapshot is published so a read
+  /// replica's first query never packs (publish-time work, not read-time).
+  void PrepareForPublish();
+
+  /// Resident bytes of the packed weight operands the read path streams.
+  size_t PackedWeightBytes() const;
+
   /// Checkpoint hooks (serve/checkpoint): the complete post-Prepare state —
   /// RNG stream, selected process, augmenter (fitted + dynamic), neighbor
   /// rings, and SLIM (params + Adam moments + step counters). A
@@ -138,6 +154,7 @@ class SplashPredictor : public TemporalPredictor {
   std::unique_ptr<SlimModel> slim_;
   AugmentationProcess selected_ = AugmentationProcess::kStructural;
   size_t input_dim_ = 0;
+  bool bf16_replica_ = false;  // sticky read-replica precision choice
 
   // Assembly scratch (grow-only, reused across batches). Queries are
   // assembled in parallel on the runtime/ ThreadPool — feature writes and

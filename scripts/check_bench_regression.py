@@ -40,10 +40,39 @@ ratio of two independently-sorted medians would absorb into one side.
 Without the stamp (older snapshots) the gate falls back to the plain
 cpu_time ratio of the two rows.
 
+`cache_topology` (stamped by bench_micro_substrate since the packed-GEMM
+layer landed) is a context config key: the BM_MatMulPacked* rows size
+their k-blocks from the detected L2, so when baseline and current report
+unlike cache hierarchies those rows are refused — skipped with a visible
+line rather than compared as if the hardware were the same. All other
+rows still gate normally.
+
+--speedup-row/--speedup-ref add a within-file FLOOR gate on the current
+run: the ref row's cpu_time divided by the speedup row's must be at least
+--min-speedup. It is meant for backend-pinned runs (a local avx512 bench
+dir, where BM_MatMulPacked/32/2048/1024 holds >= 1.5x over its unpacked
+sibling): on the scalar-pinned CI run the packed layout is a modest
+layout win, not 1.5x, so CI pins the SIMD packed wins through the
+committed side-run stamps instead (next paragraph).
+
+--context-speedup KEY[=FLOOR] (repeatable) gates a scripts/bench.sh
+side-run context stamp in the COMMITTED BASELINE — e.g.
+"avx512_speedup BM_SlimForwardFused/wide_b1=1.0" (the batch-1 wide fused
+forward whose pre-packing strided-B walk starved the avx512 backend) and
+"avx512_packed_speedup BM_MatMulPacked/32/2048/1024=1.5" (packed over
+unpacked within the avx512 side-run, B larger than L2). The stamps are
+written when the snapshot is recorded, so the gate stops a regressed
+snapshot from being committed and re-verifies every committed one on
+every push — the CI runner itself needs no avx512. FLOOR defaults to
+--min-context-speedup. A baseline whose recording host could not run the
+backend never carries the key, so an absent key skips visibly instead of
+failing.
+
 --self-test exercises the comparator against fabricated data derived from
 the baseline: an identical copy must pass, and a copy with one pinned row
-hand-slowed by 30% must fail. CI runs it before the real comparison so the
-gate can never rot into always-green.
+hand-slowed by 30% must fail (likewise a hand-lowered --context-speedup
+stamp). CI runs it before the real comparison so the gate can never rot
+into always-green.
 """
 
 import argparse
@@ -67,7 +96,9 @@ DEFAULT_ROWS = [
     "BM_ChronoReplayThreads/1",
     "BM_FeatureReplayBulkThreads/1",
     "BM_MatMul/256/48/64",
+    "BM_MatMulPacked/2560/48/64",
     "BM_SlimForwardFused/256",
+    "BM_SlimForwardFused/wide_b1",
 ]
 
 # The serving-layer gate (--preset serve): BENCH_serve.json's pinned
@@ -139,6 +170,12 @@ def compare(baseline, current, rows, max_regress, calibrate=None):
             "are like-for-like only (pin SPLASH_KERNEL): FAIL" %
             (base_backend, cur_backend)
         ]
+    # The packed-GEMM rows are k-blocked against the detected L2: unlike
+    # cache hierarchies make their times incomparable by construction, so
+    # those rows are refused (skipped, visibly) rather than diffed.
+    base_cache = str(baseline.get("context", {}).get("cache_topology", ""))
+    cur_cache = str(current.get("context", {}).get("cache_topology", ""))
+    unlike_cache = bool(base_cache and cur_cache and base_cache != cur_cache)
     base = load_cpu_times(baseline)
     cur = load_cpu_times(current)
     base_cfg = load_row_configs(baseline)
@@ -158,6 +195,10 @@ def compare(baseline, current, rows, max_regress, calibrate=None):
     lines.append("%-36s %12s %12s %8s  %s" %
                  ("row", "base cpu", "cur cpu", "ratio", "verdict"))
     for row in rows:
+        if unlike_cache and row.startswith("BM_MatMulPacked"):
+            lines.append("%-36s skipped: unlike cache topology (baseline=%s "
+                         "current=%s)" % (row, base_cache, cur_cache))
+            continue
         if row not in base or row not in cur:
             where = "baseline" if row not in base else "current run"
             lines.append("%-36s missing from %s: FAIL (the gate row "
@@ -221,8 +262,63 @@ def check_overhead(doc, row, ref, max_overhead):
     return ok, lines
 
 
+def check_speedup(doc, row, ref, min_speedup):
+    """Within-file floor gate: `ref`'s cpu_time / `row`'s cpu_time must be
+    at least min_speedup. Both rows come from the same run on the same
+    host (no calibration) — pins the packed-GEMM win over its unpacked
+    sibling on backend-pinned runs (SIMD-pinned bench dirs; the scalar CI
+    run gates the SIMD wins via --context-speedup instead)."""
+    times = load_cpu_times(doc)
+    if row not in times or ref not in times:
+        missing = row if row not in times else ref
+        return False, ["speedup gate: row %s missing: FAIL" % missing]
+    if times[row] <= 0:
+        return False, ["speedup gate: row %s has cpu_time <= 0: FAIL" % row]
+    ratio = times[ref] / times[row]
+    ok = ratio >= min_speedup
+    lines = ["speedup gate: %s over %s = %.2fx (%.1fns / %.1fns, floor "
+             "%.2fx): %s" % (row, ref, ratio, times[ref], times[row],
+                             min_speedup, "ok" if ok else "FAIL")]
+    return ok, lines
+
+
+def parse_context_speedups(specs, default_floor):
+    """Parses repeated --context-speedup values: "KEY" or "KEY=FLOOR"."""
+    gates = []
+    for spec in specs or []:
+        key, sep, floor = spec.rpartition("=")
+        if sep and key:
+            gates.append((key, float(floor)))
+        else:
+            gates.append((spec, default_floor))
+    return gates
+
+
+def check_context_speedup(doc, key, min_ratio):
+    """Floor gate on a scripts/bench.sh side-run context stamp (e.g.
+    "avx512_speedup BM_SlimForwardFused/wide_b1") in the committed
+    baseline. An absent key means the recording host's dispatcher could
+    not run that backend — skip, visibly, so snapshots from hosts without
+    the hardware don't fail."""
+    ctx = doc.get("context", {})
+    if key not in ctx:
+        return True, ["context speedup gate: '%s' absent (backend side-run "
+                      "not recorded on the snapshot host): skipped" % key]
+    try:
+        ratio = float(ctx[key])
+    except (TypeError, ValueError):
+        return False, ["context speedup gate: '%s' is not a number (%r): "
+                       "FAIL" % (key, ctx[key])]
+    ok = ratio >= min_ratio
+    lines = ["context speedup gate: %s = %.2fx (floor %.2fx): %s" %
+             (key, ratio, min_ratio, "ok" if ok else "FAIL")]
+    return ok, lines
+
+
 def self_test(baseline, rows, max_regress, calibrate,
-              overhead_row=None, overhead_ref=None, max_overhead=0.10):
+              overhead_row=None, overhead_ref=None, max_overhead=0.10,
+              speedup_row=None, speedup_ref=None, min_speedup=1.5,
+              context_speedups=None):
     """The comparator must pass an identical copy and fail a hand-slowed one."""
     same = copy.deepcopy(baseline)
     ok_same, lines = compare(baseline, same, rows, max_regress, calibrate)
@@ -293,6 +389,68 @@ def self_test(baseline, rows, max_regress, calibrate,
             return False
         extra += ", inflated overhead row rejected"
 
+    # The speedup comparator must pass the recorded ratio (the baseline is
+    # only committed when the packed win holds) and fail a hand-slowed
+    # packed row that erases it.
+    if speedup_row is not None and speedup_ref is not None:
+        ok_speed, lines = check_speedup(baseline, speedup_row, speedup_ref,
+                                        min_speedup)
+        if not ok_speed:
+            print("\n".join(lines), file=sys.stderr)
+            print("self-test FAILED: committed baseline violates the "
+                  "speedup gate", file=sys.stderr)
+            return False
+        slowed_packed = copy.deepcopy(baseline)
+        for row in slowed_packed.get("benchmarks", []):
+            if row.get("run_name", row.get("name", "")) == speedup_row:
+                row["cpu_time"] = row["cpu_time"] * (2.0 * min_speedup)
+        ok_slowed_packed, _ = check_speedup(slowed_packed, speedup_row,
+                                            speedup_ref, min_speedup)
+        if ok_slowed_packed:
+            print("self-test FAILED: hand-slowed speedup row passed",
+                  file=sys.stderr)
+            return False
+        extra += ", erased speedup rejected"
+
+    # Every committed side-run stamp must satisfy its floor, and a
+    # hand-lowered stamp must fail — so a regressed snapshot cannot be
+    # committed and the stamp gate cannot rot into always-green. (Absent
+    # stamps skip: the snapshot host may lack the backend.)
+    for key, floor in context_speedups or []:
+        ok_ctx, lines = check_context_speedup(baseline, key, floor)
+        if not ok_ctx:
+            print("\n".join(lines), file=sys.stderr)
+            print("self-test FAILED: committed baseline violates the "
+                  "context speedup gate", file=sys.stderr)
+            return False
+        if key in baseline.get("context", {}):
+            lowered = copy.deepcopy(baseline)
+            lowered["context"][key] = "%.2f" % (floor / 2.0)
+            ok_lowered, _ = check_context_speedup(lowered, key, floor)
+            if ok_lowered:
+                print("self-test FAILED: hand-lowered context stamp '%s' "
+                      "passed" % key, file=sys.stderr)
+                return False
+            extra += ", lowered '%s' stamp rejected" % key
+
+    # Unlike cache topologies must skip the packed rows instead of diffing
+    # them (and instead of failing the whole gate).
+    if str(baseline.get("context", {}).get("cache_topology", "")):
+        recached = copy.deepcopy(baseline)
+        recached["context"]["cache_topology"] = "self-test-other-cache"
+        for row in recached.get("benchmarks", []):
+            name = row.get("run_name", row.get("name", ""))
+            if name.startswith("BM_MatMulPacked") and "cpu_time" in row:
+                row["cpu_time"] = row["cpu_time"] * 100.0  # must be ignored
+        ok_recached, lines = compare(baseline, recached, rows, max_regress,
+                                     calibrate)
+        if not ok_recached:
+            print("\n".join(lines), file=sys.stderr)
+            print("self-test FAILED: unlike-cache run did not skip the "
+                  "packed rows", file=sys.stderr)
+            return False
+        extra += ", unlike-cache packed rows skipped"
+
     print("self-test passed: identical run ok, hand-slowed row rejected%s"
           % extra)
     return True
@@ -318,15 +476,36 @@ def main():
                          "BM_ServeSmokeMixedRouted/1 vs BM_ServeSmokeMixed)")
     ap.add_argument("--overhead-ref", default=None, metavar="ROW")
     ap.add_argument("--max-overhead", type=float, default=0.10)
+    ap.add_argument("--speedup-row", default=None, metavar="ROW",
+                    help="within-file floor gate: --speedup-ref's cpu_time "
+                         "over this row's must be >= --min-speedup (CI pins "
+                         "BM_MatMulPacked/32/2048/1024 vs "
+                         "BM_MatMul/32/2048/1024)")
+    ap.add_argument("--speedup-ref", default=None, metavar="ROW")
+    ap.add_argument("--min-speedup", type=float, default=1.5)
+    ap.add_argument("--context-speedup", action="append", default=None,
+                    metavar="KEY[=FLOOR]",
+                    help="repeatable floor gate on a bench.sh side-run "
+                         "context stamp in the BASELINE, e.g. "
+                         "'avx512_speedup BM_SlimForwardFused/wide_b1=1.0'; "
+                         "FLOOR defaults to --min-context-speedup; an "
+                         "absent key skips (snapshot host lacks the "
+                         "backend)")
+    ap.add_argument("--min-context-speedup", type=float, default=1.0)
     ap.add_argument("--self-test", action="store_true")
     args = ap.parse_args()
     if (args.overhead_row is None) != (args.overhead_ref is None):
         ap.error("--overhead-row and --overhead-ref go together")
+    if (args.speedup_row is None) != (args.speedup_ref is None):
+        ap.error("--speedup-row and --speedup-ref go together")
     preset_rows, preset_cal = PRESETS[args.preset or "micro"]
     if args.rows is None:
         args.rows = preset_rows
     if args.calibrate is None and args.preset is not None:
         args.calibrate = preset_cal
+
+    context_gates = parse_context_speedups(args.context_speedup,
+                                           args.min_context_speedup)
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -334,7 +513,9 @@ def main():
     if args.self_test:
         sys.exit(0 if self_test(baseline, args.rows, args.max_regress,
                                 args.calibrate, args.overhead_row,
-                                args.overhead_ref, args.max_overhead) else 1)
+                                args.overhead_ref, args.max_overhead,
+                                args.speedup_row, args.speedup_ref,
+                                args.min_speedup, context_gates) else 1)
 
     if not args.current:
         ap.error("--current is required unless --self-test")
@@ -349,6 +530,16 @@ def main():
                                              args.max_overhead)
         ok = ok and over_ok
         lines.extend(over_lines)
+    if args.speedup_row is not None:
+        speed_ok, speed_lines = check_speedup(current, args.speedup_row,
+                                              args.speedup_ref,
+                                              args.min_speedup)
+        ok = ok and speed_ok
+        lines.extend(speed_lines)
+    for key, floor in context_gates:
+        ctx_ok, ctx_lines = check_context_speedup(baseline, key, floor)
+        ok = ok and ctx_ok
+        lines.extend(ctx_lines)
     print("\n".join(lines))
     if not ok:
         print("\nbench regression gate FAILED (threshold +%d%% cpu_time)" %

@@ -26,6 +26,7 @@
 // bit-equal — determinism oracles pin SPLASH_KERNEL=scalar.
 
 #include "tensor/matrix.h"
+#include "tensor/packed.h"
 #include "tensor/simd.h"
 
 #if defined(__AVX2__) && defined(__FMA__)
@@ -212,6 +213,361 @@ void Avx2MatMulBiasActRange(const Matrix& a, const Matrix& b, Matrix* c,
                             size_t r0, size_t r1, const float* bias,
                             bool relu) {
   Avx2MatMulEpilogueRange(a, b, c, r0, r1, /*accumulate=*/false, bias, relu);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-B GEMM (tensor/packed.h): one 16-col panel is two ymm halves per
+// row, so the 6-row block keeps the same 12-accumulator budget as
+// MicroKernel16 — only the B addressing changes, from row-pitch strides to
+// one contiguous cache line per reduction step.
+//
+// Per-element accumulation stays one ascending-k 8-lane FMA chain, so
+// packed results are bit-identical to the unpacked kernels on this
+// backend. Multi-k-block runs park fp32 partials in C (exact), which is
+// only legal for accumulate=false; accumulate=true keeps the chain in
+// registers across blocks (the FullK variants).
+// ---------------------------------------------------------------------------
+
+struct PackedLoadF32 {
+  static __m256 Load(const float* p) { return _mm256_load_ps(p); }
+};
+
+struct PackedLoadBf16 {
+  static __m256 Load(const uint16_t* p) {
+    const __m128i raw = _mm_load_si128(reinterpret_cast<const __m128i*>(p));
+    // Widening is exact: bf16 is the upper half of the fp32 bit pattern.
+    return _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16));
+  }
+};
+
+/// One full 16-col panel x R rows over one k-block; `first` starts the
+/// chains at zero, otherwise they resume from the partials parked in C;
+/// `last` applies the epilogue, otherwise raw partials are stored back.
+template <int R, typename Loader, typename Packed>
+inline void PackedPanelFull(const float* const* arows, const Packed& b,
+                            size_t pb, size_t jp, float* const* crows,
+                            bool first, bool last, bool accumulate,
+                            const float* bias, bool relu) {
+  const auto* p0 = b.Panel(pb, jp);
+  const size_t j = jp * 16;
+  const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+  __m256 acc[R][2];
+  if (first) {
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    }
+  } else {
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_loadu_ps(crows[r] + j);
+      acc[r][1] = _mm256_loadu_ps(crows[r] + j + 8);
+    }
+  }
+  for (size_t kk = 0; kk < kb; ++kk) {
+    const __m256 b0 = Loader::Load(p0 + kk * 16);
+    const __m256 b1 = Loader::Load(p0 + kk * 16 + 8);
+    for (int r = 0; r < R; ++r) {
+      const __m256 av = _mm256_broadcast_ss(arows[r] + k0 + kk);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  if (last) {
+    for (int r = 0; r < R; ++r) {
+      _mm256_storeu_ps(
+          crows[r] + j,
+          Epilogue8(acc[r][0], crows[r], bias, j, accumulate, relu));
+      _mm256_storeu_ps(
+          crows[r] + j + 8,
+          Epilogue8(acc[r][1], crows[r], bias, j + 8, accumulate, relu));
+    }
+  } else {
+    for (int r = 0; r < R; ++r) {
+      _mm256_storeu_ps(crows[r] + j, acc[r][0]);
+      _mm256_storeu_ps(crows[r] + j + 8, acc[r][1]);
+    }
+  }
+}
+
+/// Finishes one masked ymm of a ragged panel, mirroring MicroKernelTail
+/// exactly (unconditional add of a maybe-zero bias vector).
+inline void PackedTailStore(__m256 acc, float* crow, size_t j, __m256i mask,
+                            const float* bias, bool accumulate, bool relu) {
+  __m256 v = acc;
+  if (accumulate) {
+    v = _mm256_add_ps(v, _mm256_maskload_ps(crow + j, mask));
+  }
+  const __m256 bias_v = bias != nullptr ? _mm256_maskload_ps(bias + j, mask)
+                                        : _mm256_setzero_ps();
+  v = _mm256_add_ps(v, bias_v);
+  if (relu) v = _mm256_max_ps(v, _mm256_setzero_ps());
+  _mm256_maskstore_ps(crow + j, mask, v);
+}
+
+/// The ragged last panel (1..15 live cols). B loads stay full-width (the
+/// panel is zero-padded, fma(a, 0, acc) == acc); C access is masked. A
+/// live first half (rem >= 8) finishes through Epilogue8 like the
+/// unpacked 8-wide kernel; masked halves mirror MicroKernelTail.
+template <int R, typename Loader, typename Packed>
+inline void PackedPanelRagged(const float* const* arows, const Packed& b,
+                              size_t pb, size_t jp, size_t rem,
+                              float* const* crows, bool first, bool last,
+                              bool accumulate, const float* bias,
+                              bool relu) {
+  const auto* p0 = b.Panel(pb, jp);
+  const size_t j = jp * 16;
+  const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+  const bool full0 = rem >= 8;
+  const size_t rem1 = rem > 8 ? rem - 8 : 0;
+  const __m256i mask0 = full0 ? _mm256_set1_epi32(-1) : TailMask(rem);
+  const __m256i mask1 =
+      rem1 > 0 ? TailMask(rem1) : _mm256_setzero_si256();
+  __m256 acc[R][2];
+  if (first) {
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    }
+  } else {
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = full0 ? _mm256_loadu_ps(crows[r] + j)
+                        : _mm256_maskload_ps(crows[r] + j, mask0);
+      acc[r][1] = rem1 > 0 ? _mm256_maskload_ps(crows[r] + j + 8, mask1)
+                           : _mm256_setzero_ps();
+    }
+  }
+  for (size_t kk = 0; kk < kb; ++kk) {
+    const __m256 b0 = Loader::Load(p0 + kk * 16);
+    const __m256 b1 = Loader::Load(p0 + kk * 16 + 8);
+    for (int r = 0; r < R; ++r) {
+      const __m256 av = _mm256_broadcast_ss(arows[r] + k0 + kk);
+      acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  if (last) {
+    for (int r = 0; r < R; ++r) {
+      if (full0) {
+        _mm256_storeu_ps(
+            crows[r] + j,
+            Epilogue8(acc[r][0], crows[r], bias, j, accumulate, relu));
+      } else {
+        PackedTailStore(acc[r][0], crows[r], j, mask0, bias, accumulate,
+                        relu);
+      }
+      if (rem1 > 0) {
+        PackedTailStore(acc[r][1], crows[r], j + 8, mask1, bias, accumulate,
+                        relu);
+      }
+    }
+  } else {
+    for (int r = 0; r < R; ++r) {
+      if (full0) {
+        _mm256_storeu_ps(crows[r] + j, acc[r][0]);
+      } else {
+        _mm256_maskstore_ps(crows[r] + j, mask0, acc[r][0]);
+      }
+      if (rem1 > 0) {
+        _mm256_maskstore_ps(crows[r] + j + 8, mask1, acc[r][1]);
+      }
+    }
+  }
+}
+
+/// All panels of one k-block for an R-row block of A.
+template <int R, typename Loader, typename Packed>
+inline void PackedRowBlock(const float* const* arows, const Packed& b,
+                           float* const* crows, size_t pb, bool first,
+                           bool last, bool accumulate, const float* bias,
+                           bool relu) {
+  const size_t n = b.n();
+  const size_t full = n / 16;
+  for (size_t jp = 0; jp < full; ++jp) {
+    PackedPanelFull<R, Loader>(arows, b, pb, jp, crows, first, last,
+                               accumulate, bias, relu);
+  }
+  if (full * 16 < n) {
+    PackedPanelRagged<R, Loader>(arows, b, pb, full, n - full * 16, crows,
+                                 first, last, accumulate, bias, relu);
+  }
+}
+
+/// Register-resident full-reduction row block: the k-block loop runs
+/// inside the accumulator lifetime, so C is never used as partial storage.
+/// Used when accumulate=true (the original C must survive until the
+/// epilogue) and for the k==0 edge (epilogue only).
+template <int R, typename Loader, typename Packed>
+inline void PackedRowBlockFullK(const float* const* arows, const Packed& b,
+                                float* const* crows, bool accumulate,
+                                const float* bias, bool relu) {
+  const size_t n = b.n();
+  const size_t nb = b.num_blocks();
+  const size_t full = n / 16;
+  for (size_t jp = 0; jp < full; ++jp) {
+    const size_t j = jp * 16;
+    __m256 acc[R][2];
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    }
+    for (size_t pb = 0; pb < nb; ++pb) {
+      const auto* p0 = b.Panel(pb, jp);
+      const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+      for (size_t kk = 0; kk < kb; ++kk) {
+        const __m256 b0 = Loader::Load(p0 + kk * 16);
+        const __m256 b1 = Loader::Load(p0 + kk * 16 + 8);
+        for (int r = 0; r < R; ++r) {
+          const __m256 av = _mm256_broadcast_ss(arows[r] + k0 + kk);
+          acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+          acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      _mm256_storeu_ps(
+          crows[r] + j,
+          Epilogue8(acc[r][0], crows[r], bias, j, accumulate, relu));
+      _mm256_storeu_ps(
+          crows[r] + j + 8,
+          Epilogue8(acc[r][1], crows[r], bias, j + 8, accumulate, relu));
+    }
+  }
+  if (full * 16 < n) {
+    const size_t j = full * 16;
+    const size_t rem = n - j;
+    const bool full0 = rem >= 8;
+    const size_t rem1 = rem > 8 ? rem - 8 : 0;
+    const __m256i mask0 = full0 ? _mm256_set1_epi32(-1) : TailMask(rem);
+    const __m256i mask1 =
+        rem1 > 0 ? TailMask(rem1) : _mm256_setzero_si256();
+    __m256 acc[R][2];
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    }
+    for (size_t pb = 0; pb < nb; ++pb) {
+      const auto* p0 = b.Panel(pb, full);
+      const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+      for (size_t kk = 0; kk < kb; ++kk) {
+        const __m256 b0 = Loader::Load(p0 + kk * 16);
+        const __m256 b1 = Loader::Load(p0 + kk * 16 + 8);
+        for (int r = 0; r < R; ++r) {
+          const __m256 av = _mm256_broadcast_ss(arows[r] + k0 + kk);
+          acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+          acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+        }
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      if (full0) {
+        _mm256_storeu_ps(
+            crows[r] + j,
+            Epilogue8(acc[r][0], crows[r], bias, j, accumulate, relu));
+      } else {
+        PackedTailStore(acc[r][0], crows[r], j, mask0, bias, accumulate,
+                        relu);
+      }
+      if (rem1 > 0) {
+        PackedTailStore(acc[r][1], crows[r], j + 8, mask1, bias, accumulate,
+                        relu);
+      }
+    }
+  }
+}
+
+template <typename Loader, typename Packed>
+void Avx2PackedEpilogueRange(const Matrix& a, const Packed& b, Matrix* c,
+                             size_t r0, size_t r1, bool accumulate,
+                             const float* bias, bool relu) {
+  const size_t k = a.cols(), n = b.n();
+  assert(b.k() == k);
+  assert(c->rows() == a.rows() && c->cols() == n);
+  assert(r0 <= r1 && r1 <= a.rows());
+  (void)k;
+  if (n == 0 || r0 == r1) return;
+  const size_t nb = b.num_blocks();
+  const float* arows[6];
+  float* crows[6];
+
+  if (accumulate || nb == 0) {
+    // Register-resident chains (see PackedRowBlockFullK).
+    size_t i = r0;
+    for (; i + 6 <= r1; i += 6) {
+      for (int r = 0; r < 6; ++r) {
+        arows[r] = a.Row(i + r);
+        crows[r] = c->Row(i + r);
+      }
+      PackedRowBlockFullK<6, Loader>(arows, b, crows, accumulate, bias,
+                                     relu);
+    }
+    if (i < r1) {
+      const size_t rem = r1 - i;
+      for (size_t r = 0; r < rem; ++r) {
+        arows[r] = a.Row(i + r);
+        crows[r] = c->Row(i + r);
+      }
+      switch (rem) {
+        case 1: PackedRowBlockFullK<1, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        case 2: PackedRowBlockFullK<2, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        case 3: PackedRowBlockFullK<3, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        case 4: PackedRowBlockFullK<4, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        default: PackedRowBlockFullK<5, Loader>(arows, b, crows, accumulate, bias, relu); break;
+      }
+    }
+    return;
+  }
+
+  // k-blocks outermost: one L2-sized block of packed B stays resident
+  // while every row block of A streams against it; C carries the fp32
+  // partials between blocks (exact store/reload — accumulate is false
+  // here, so C has no prior value to preserve).
+  for (size_t pb = 0; pb < nb; ++pb) {
+    const bool first = pb == 0, last = pb + 1 == nb;
+    size_t i = r0;
+    for (; i + 6 <= r1; i += 6) {
+      for (int r = 0; r < 6; ++r) {
+        arows[r] = a.Row(i + r);
+        crows[r] = c->Row(i + r);
+      }
+      PackedRowBlock<6, Loader>(arows, b, crows, pb, first, last,
+                                /*accumulate=*/false, bias, relu);
+    }
+    if (i < r1) {
+      const size_t rem = r1 - i;
+      for (size_t r = 0; r < rem; ++r) {
+        arows[r] = a.Row(i + r);
+        crows[r] = c->Row(i + r);
+      }
+      switch (rem) {
+        case 1: PackedRowBlock<1, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        case 2: PackedRowBlock<2, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        case 3: PackedRowBlock<3, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        case 4: PackedRowBlock<4, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        default: PackedRowBlock<5, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+      }
+    }
+  }
+}
+
+void Avx2MatMulPackedRange(const Matrix& a, const PackedMatrix& b, Matrix* c,
+                           size_t r0, size_t r1, bool accumulate) {
+  Avx2PackedEpilogueRange<PackedLoadF32>(a, b, c, r0, r1, accumulate,
+                                         nullptr, false);
+}
+
+void Avx2MatMulPackedBiasActRange(const Matrix& a, const PackedMatrix& b,
+                                  Matrix* c, size_t r0, size_t r1,
+                                  const float* bias, bool relu) {
+  Avx2PackedEpilogueRange<PackedLoadF32>(a, b, c, r0, r1,
+                                         /*accumulate=*/false, bias, relu);
+}
+
+void Avx2MatMulPacked16BiasActRange(const Matrix& a, const PackedMatrix16& b,
+                                    Matrix* c, size_t r0, size_t r1,
+                                    const float* bias, bool relu) {
+  Avx2PackedEpilogueRange<PackedLoadBf16>(a, b, c, r0, r1,
+                                          /*accumulate=*/false, bias, relu);
 }
 
 // ---------------------------------------------------------------------------
@@ -527,6 +883,9 @@ const KernelTable kAvx2Table = {
     Avx2ColumnSumsRange,
     Avx2AdamUpdate,
     Avx2SincosEncode,
+    Avx2MatMulPackedRange,
+    Avx2MatMulPackedBiasActRange,
+    Avx2MatMulPacked16BiasActRange,
 };
 
 }  // namespace

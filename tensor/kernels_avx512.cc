@@ -31,6 +31,7 @@
 // oracles pin SPLASH_KERNEL=scalar.
 
 #include "tensor/matrix.h"
+#include "tensor/packed.h"
 #include "tensor/simd.h"
 
 #if defined(__AVX512F__) && defined(__AVX512VL__) && defined(__AVX512DQ__)
@@ -208,6 +209,361 @@ void Avx512MatMulBiasActRange(const Matrix& a, const Matrix& b, Matrix* c,
                               bool relu) {
   Avx512MatMulEpilogueRange(a, b, c, r0, r1, /*accumulate=*/false, bias,
                             relu);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-B GEMM (tensor/packed.h). Every B panel is a contiguous run of
+// 16-float cache lines, so the steady loop advances B by exactly one line
+// per reduction step — no row-pitch strides, which is what makes the wide
+// batch-1 serving forward prefetch-friendly again.
+//
+// Bit-identity with the unpacked kernels above: each output element is one
+// ascending-k FMA chain into a single accumulator lane, then the identical
+// epilogue. Multi-k-block runs park the fp32 partial in C between blocks —
+// an exact store/reload — so the chain's value sequence is unchanged.
+// C-as-partial-storage is only legal when the output is overwritten
+// (accumulate=false); accumulate=true keeps the whole chain in registers
+// (block loop inside the kernel) because the unpacked epilogue adds the
+// original C LAST.
+//
+// The bf16 kernels share this code via the Loader parameter: each packed
+// lane widens to fp32 on load (exact: bf16 is the upper half of the fp32
+// bits) and everything downstream is the same fp32 arithmetic.
+// ---------------------------------------------------------------------------
+
+struct PackedLoadF32 {
+  static __m512 Load(const float* p) { return _mm512_load_ps(p); }
+};
+
+struct PackedLoadBf16 {
+  static __m512 Load(const uint16_t* p) {
+    const __m256i raw =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(p));
+    // Widening is exact: bf16 is the upper half of the fp32 bit pattern.
+    return _mm512_castsi512_ps(
+        _mm512_slli_epi32(_mm512_cvtepu16_epi32(raw), 16));
+  }
+};
+
+/// Two full panels (32 cols) x R rows over one k-block. `first` starts the
+/// chains at zero, otherwise they resume from the partials parked in C;
+/// `last` applies the epilogue, otherwise raw partials are stored back.
+template <int R, typename Loader, typename Packed>
+inline void PackedPanelPair(const float* const* arows, const Packed& b,
+                            size_t pb, size_t jp, float* const* crows,
+                            bool first, bool last, bool accumulate,
+                            const float* bias, bool relu) {
+  const auto* p0 = b.Panel(pb, jp);
+  const auto* p1 = b.Panel(pb, jp + 1);
+  const size_t j = jp * 16;
+  const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+  __m512 acc[R][2];
+  if (first) {
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm512_setzero_ps();
+      acc[r][1] = _mm512_setzero_ps();
+    }
+  } else {
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm512_loadu_ps(crows[r] + j);
+      acc[r][1] = _mm512_loadu_ps(crows[r] + j + 16);
+    }
+  }
+  for (size_t kk = 0; kk < kb; ++kk) {
+    const __m512 b0 = Loader::Load(p0 + kk * 16);
+    const __m512 b1 = Loader::Load(p1 + kk * 16);
+    for (int r = 0; r < R; ++r) {
+      const __m512 av = _mm512_set1_ps(arows[r][k0 + kk]);
+      acc[r][0] = _mm512_fmadd_ps(av, b0, acc[r][0]);
+      acc[r][1] = _mm512_fmadd_ps(av, b1, acc[r][1]);
+    }
+  }
+  if (last) {
+    for (int r = 0; r < R; ++r) {
+      _mm512_storeu_ps(
+          crows[r] + j,
+          Epilogue16(acc[r][0], crows[r], bias, j, accumulate, relu));
+      _mm512_storeu_ps(
+          crows[r] + j + 16,
+          Epilogue16(acc[r][1], crows[r], bias, j + 16, accumulate, relu));
+    }
+  } else {
+    for (int r = 0; r < R; ++r) {
+      _mm512_storeu_ps(crows[r] + j, acc[r][0]);
+      _mm512_storeu_ps(crows[r] + j + 16, acc[r][1]);
+    }
+  }
+}
+
+/// One full panel (16 cols) x R rows over one k-block.
+template <int R, typename Loader, typename Packed>
+inline void PackedPanelOne(const float* const* arows, const Packed& b,
+                           size_t pb, size_t jp, float* const* crows,
+                           bool first, bool last, bool accumulate,
+                           const float* bias, bool relu) {
+  const auto* p0 = b.Panel(pb, jp);
+  const size_t j = jp * 16;
+  const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+  __m512 acc[R];
+  if (first) {
+    for (int r = 0; r < R; ++r) acc[r] = _mm512_setzero_ps();
+  } else {
+    for (int r = 0; r < R; ++r) acc[r] = _mm512_loadu_ps(crows[r] + j);
+  }
+  for (size_t kk = 0; kk < kb; ++kk) {
+    const __m512 b0 = Loader::Load(p0 + kk * 16);
+    for (int r = 0; r < R; ++r) {
+      acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(arows[r][k0 + kk]), b0,
+                               acc[r]);
+    }
+  }
+  if (last) {
+    for (int r = 0; r < R; ++r) {
+      _mm512_storeu_ps(
+          crows[r] + j,
+          Epilogue16(acc[r], crows[r], bias, j, accumulate, relu));
+    }
+  } else {
+    for (int r = 0; r < R; ++r) _mm512_storeu_ps(crows[r] + j, acc[r]);
+  }
+}
+
+/// The ragged last panel (<16 live cols): B loads stay full-width (the
+/// panel is zero-padded, fma(a, 0, acc) == acc), C access is masked. The
+/// last-block epilogue mirrors MicroKernelTail exactly (unconditional add
+/// of a maybe-zero bias vector) so packed and unpacked tails stay
+/// bit-identical.
+template <int R, typename Loader, typename Packed>
+inline void PackedPanelRagged(const float* const* arows, const Packed& b,
+                              size_t pb, size_t jp, size_t rem,
+                              float* const* crows, bool first, bool last,
+                              bool accumulate, const float* bias,
+                              bool relu) {
+  const auto* p0 = b.Panel(pb, jp);
+  const size_t j = jp * 16;
+  const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+  const __mmask16 mask = TailMask16(rem);
+  __m512 acc[R];
+  if (first) {
+    for (int r = 0; r < R; ++r) acc[r] = _mm512_setzero_ps();
+  } else {
+    for (int r = 0; r < R; ++r) {
+      acc[r] = _mm512_maskz_loadu_ps(mask, crows[r] + j);
+    }
+  }
+  for (size_t kk = 0; kk < kb; ++kk) {
+    const __m512 b0 = Loader::Load(p0 + kk * 16);
+    for (int r = 0; r < R; ++r) {
+      acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(arows[r][k0 + kk]), b0,
+                               acc[r]);
+    }
+  }
+  if (last) {
+    const __m512 bias_v = bias != nullptr
+                              ? _mm512_maskz_loadu_ps(mask, bias + j)
+                              : _mm512_setzero_ps();
+    for (int r = 0; r < R; ++r) {
+      __m512 v = acc[r];
+      if (accumulate) {
+        v = _mm512_add_ps(v, _mm512_maskz_loadu_ps(mask, crows[r] + j));
+      }
+      v = _mm512_add_ps(v, bias_v);
+      if (relu) v = _mm512_max_ps(v, _mm512_setzero_ps());
+      _mm512_mask_storeu_ps(crows[r] + j, mask, v);
+    }
+  } else {
+    for (int r = 0; r < R; ++r) {
+      _mm512_mask_storeu_ps(crows[r] + j, mask, acc[r]);
+    }
+  }
+}
+
+/// All panels of one k-block for an R-row block of A.
+template <int R, typename Loader, typename Packed>
+inline void PackedRowBlock(const float* const* arows, const Packed& b,
+                           float* const* crows, size_t pb, bool first,
+                           bool last, bool accumulate, const float* bias,
+                           bool relu) {
+  const size_t n = b.n();
+  const size_t full = n / 16;
+  size_t jp = 0;
+  for (; jp + 2 <= full; jp += 2) {
+    PackedPanelPair<R, Loader>(arows, b, pb, jp, crows, first, last,
+                               accumulate, bias, relu);
+  }
+  if (jp < full) {
+    PackedPanelOne<R, Loader>(arows, b, pb, jp, crows, first, last,
+                              accumulate, bias, relu);
+    ++jp;
+  }
+  if (jp * 16 < n) {
+    PackedPanelRagged<R, Loader>(arows, b, pb, jp, n - jp * 16, crows,
+                                 first, last, accumulate, bias, relu);
+  }
+}
+
+/// Register-resident full-reduction row block: the block loop runs inside
+/// the accumulator lifetime, so C is never used as partial storage. Used
+/// when accumulate=true (the original C must survive until the epilogue)
+/// and for the k==0 edge (epilogue only).
+template <int R, typename Loader, typename Packed>
+inline void PackedRowBlockFullK(const float* const* arows, const Packed& b,
+                                float* const* crows, bool accumulate,
+                                const float* bias, bool relu) {
+  const size_t n = b.n();
+  const size_t nb = b.num_blocks();
+  const size_t full = n / 16;
+  for (size_t jp = 0; jp < full; ++jp) {
+    const size_t j = jp * 16;
+    __m512 acc[R];
+    for (int r = 0; r < R; ++r) acc[r] = _mm512_setzero_ps();
+    for (size_t pb = 0; pb < nb; ++pb) {
+      const auto* p0 = b.Panel(pb, jp);
+      const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+      for (size_t kk = 0; kk < kb; ++kk) {
+        const __m512 b0 = Loader::Load(p0 + kk * 16);
+        for (int r = 0; r < R; ++r) {
+          acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(arows[r][k0 + kk]), b0,
+                                   acc[r]);
+        }
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      _mm512_storeu_ps(
+          crows[r] + j,
+          Epilogue16(acc[r], crows[r], bias, j, accumulate, relu));
+    }
+  }
+  if (full * 16 < n) {
+    const size_t j = full * 16;
+    const __mmask16 mask = TailMask16(n - j);
+    __m512 acc[R];
+    for (int r = 0; r < R; ++r) acc[r] = _mm512_setzero_ps();
+    for (size_t pb = 0; pb < nb; ++pb) {
+      const auto* p0 = b.Panel(pb, full);
+      const size_t k0 = b.BlockBegin(pb), kb = b.BlockRows(pb);
+      for (size_t kk = 0; kk < kb; ++kk) {
+        const __m512 b0 = Loader::Load(p0 + kk * 16);
+        for (int r = 0; r < R; ++r) {
+          acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(arows[r][k0 + kk]), b0,
+                                   acc[r]);
+        }
+      }
+    }
+    const __m512 bias_v = bias != nullptr
+                              ? _mm512_maskz_loadu_ps(mask, bias + j)
+                              : _mm512_setzero_ps();
+    for (int r = 0; r < R; ++r) {
+      __m512 v = acc[r];
+      if (accumulate) {
+        v = _mm512_add_ps(v, _mm512_maskz_loadu_ps(mask, crows[r] + j));
+      }
+      v = _mm512_add_ps(v, bias_v);
+      if (relu) v = _mm512_max_ps(v, _mm512_setzero_ps());
+      _mm512_mask_storeu_ps(crows[r] + j, mask, v);
+    }
+  }
+}
+
+template <typename Loader, typename Packed>
+void Avx512PackedEpilogueRange(const Matrix& a, const Packed& b, Matrix* c,
+                               size_t r0, size_t r1, bool accumulate,
+                               const float* bias, bool relu) {
+  const size_t k = a.cols(), n = b.n();
+  assert(b.k() == k);
+  assert(c->rows() == a.rows() && c->cols() == n);
+  assert(r0 <= r1 && r1 <= a.rows());
+  (void)k;
+  if (n == 0 || r0 == r1) return;
+  const size_t nb = b.num_blocks();
+  const float* arows[8];
+  float* crows[8];
+
+  if (accumulate || nb == 0) {
+    // Register-resident chains (see PackedRowBlockFullK).
+    size_t i = r0;
+    for (; i + 8 <= r1; i += 8) {
+      for (int r = 0; r < 8; ++r) {
+        arows[r] = a.Row(i + r);
+        crows[r] = c->Row(i + r);
+      }
+      PackedRowBlockFullK<8, Loader>(arows, b, crows, accumulate, bias,
+                                     relu);
+    }
+    if (i < r1) {
+      const size_t rem = r1 - i;
+      for (size_t r = 0; r < rem; ++r) {
+        arows[r] = a.Row(i + r);
+        crows[r] = c->Row(i + r);
+      }
+      switch (rem) {
+        case 1: PackedRowBlockFullK<1, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        case 2: PackedRowBlockFullK<2, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        case 3: PackedRowBlockFullK<3, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        case 4: PackedRowBlockFullK<4, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        case 5: PackedRowBlockFullK<5, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        case 6: PackedRowBlockFullK<6, Loader>(arows, b, crows, accumulate, bias, relu); break;
+        default: PackedRowBlockFullK<7, Loader>(arows, b, crows, accumulate, bias, relu); break;
+      }
+    }
+    return;
+  }
+
+  // k-blocks outermost: one L2-sized block of packed B stays resident
+  // while every row block of A streams against it; C carries the fp32
+  // partials between blocks (exact store/reload — accumulate is false
+  // here, so C has no prior value to preserve).
+  for (size_t pb = 0; pb < nb; ++pb) {
+    const bool first = pb == 0, last = pb + 1 == nb;
+    size_t i = r0;
+    for (; i + 8 <= r1; i += 8) {
+      for (int r = 0; r < 8; ++r) {
+        arows[r] = a.Row(i + r);
+        crows[r] = c->Row(i + r);
+      }
+      PackedRowBlock<8, Loader>(arows, b, crows, pb, first, last,
+                                /*accumulate=*/false, bias, relu);
+    }
+    if (i < r1) {
+      const size_t rem = r1 - i;
+      for (size_t r = 0; r < rem; ++r) {
+        arows[r] = a.Row(i + r);
+        crows[r] = c->Row(i + r);
+      }
+      switch (rem) {
+        case 1: PackedRowBlock<1, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        case 2: PackedRowBlock<2, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        case 3: PackedRowBlock<3, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        case 4: PackedRowBlock<4, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        case 5: PackedRowBlock<5, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        case 6: PackedRowBlock<6, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+        default: PackedRowBlock<7, Loader>(arows, b, crows, pb, first, last, false, bias, relu); break;
+      }
+    }
+  }
+}
+
+void Avx512MatMulPackedRange(const Matrix& a, const PackedMatrix& b,
+                             Matrix* c, size_t r0, size_t r1,
+                             bool accumulate) {
+  Avx512PackedEpilogueRange<PackedLoadF32>(a, b, c, r0, r1, accumulate,
+                                           nullptr, false);
+}
+
+void Avx512MatMulPackedBiasActRange(const Matrix& a, const PackedMatrix& b,
+                                    Matrix* c, size_t r0, size_t r1,
+                                    const float* bias, bool relu) {
+  Avx512PackedEpilogueRange<PackedLoadF32>(a, b, c, r0, r1,
+                                           /*accumulate=*/false, bias, relu);
+}
+
+void Avx512MatMulPacked16BiasActRange(const Matrix& a,
+                                      const PackedMatrix16& b, Matrix* c,
+                                      size_t r0, size_t r1,
+                                      const float* bias, bool relu) {
+  Avx512PackedEpilogueRange<PackedLoadBf16>(a, b, c, r0, r1,
+                                            /*accumulate=*/false, bias,
+                                            relu);
 }
 
 // ---------------------------------------------------------------------------
@@ -536,6 +892,9 @@ const KernelTable kAvx512Table = {
     Avx512ColumnSumsRange,
     Avx512AdamUpdate,
     Avx512SincosEncode,
+    Avx512MatMulPackedRange,
+    Avx512MatMulPackedBiasActRange,
+    Avx512MatMulPacked16BiasActRange,
 };
 
 }  // namespace

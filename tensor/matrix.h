@@ -28,20 +28,23 @@
 
 namespace splash {
 
-/// Grow-only float buffer whose payload is 64-byte aligned. Allocation goes
-/// through plain ::operator new[] (over-allocated, pointer aligned by hand)
-/// so the counting-allocator gate in allocation_steady_state_test still
-/// sees every allocation — std::aligned_alloc or aligned operator new would
-/// bypass the shims the gate overrides.
-class AlignedBuffer {
+/// Grow-only trivially-copyable element buffer whose payload is 64-byte
+/// aligned. Allocation goes through plain ::operator new[] (over-allocated,
+/// pointer aligned by hand) so the counting-allocator gate in
+/// allocation_steady_state_test still sees every allocation —
+/// std::aligned_alloc or aligned operator new would bypass the shims the
+/// gate overrides. T is float for matrices and uint16_t for the bf16
+/// read-replica storage (tensor/packed.h).
+template <typename T>
+class AlignedBufferT {
  public:
   static constexpr size_t kAlignment = 64;
 
-  AlignedBuffer() = default;
-  ~AlignedBuffer() { delete[] raw_; }
+  AlignedBufferT() = default;
+  ~AlignedBufferT() { delete[] raw_; }
 
-  AlignedBuffer(const AlignedBuffer& other) { CopyFrom(other); }
-  AlignedBuffer& operator=(const AlignedBuffer& other) {
+  AlignedBufferT(const AlignedBufferT& other) { CopyFrom(other); }
+  AlignedBufferT& operator=(const AlignedBufferT& other) {
     if (this != &other) {
       if (cap_ < other.size_) {
         delete[] raw_;
@@ -52,12 +55,12 @@ class AlignedBuffer {
         CopyFrom(other);
       } else {
         size_ = other.size_;
-        if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+        if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
       }
     }
     return *this;
   }
-  AlignedBuffer(AlignedBuffer&& other) noexcept
+  AlignedBufferT(AlignedBufferT&& other) noexcept
       : raw_(other.raw_), data_(other.data_), size_(other.size_),
         cap_(other.cap_) {
     other.raw_ = nullptr;
@@ -65,7 +68,7 @@ class AlignedBuffer {
     other.size_ = 0;
     other.cap_ = 0;
   }
-  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+  AlignedBufferT& operator=(AlignedBufferT&& other) noexcept {
     if (this != &other) {
       delete[] raw_;
       raw_ = other.raw_;
@@ -80,44 +83,46 @@ class AlignedBuffer {
     return *this;
   }
 
-  /// Grows to at least `n` floats (geometric, grow-only), preserving the
+  /// Grows to at least `n` elements (geometric, grow-only), preserving the
   /// existing contents and zeroing the newly exposed cells — the same
   /// contract std::vector<float>::resize gave the score accumulators.
   void Resize(size_t n) {
     if (n > cap_) {
       size_t new_cap = cap_ < 16 ? 16 : cap_;
       while (new_cap < n) new_cap *= 2;
-      char* raw = new char[new_cap * sizeof(float) + kAlignment];
+      char* raw = new char[new_cap * sizeof(T) + kAlignment];
       const uintptr_t base = reinterpret_cast<uintptr_t>(raw);
-      float* aligned = reinterpret_cast<float*>(
+      T* aligned = reinterpret_cast<T*>(
           (base + kAlignment - 1) / kAlignment * kAlignment);
-      if (size_ > 0) std::memcpy(aligned, data_, size_ * sizeof(float));
+      if (size_ > 0) std::memcpy(aligned, data_, size_ * sizeof(T));
       delete[] raw_;
       raw_ = raw;
       data_ = aligned;
       cap_ = new_cap;
     }
     if (n > size_) {
-      std::memset(data_ + size_, 0, (n - size_) * sizeof(float));
+      std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
     }
     size_ = n;
   }
 
-  float* data() { return data_; }
-  const float* data() const { return data_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
   size_t size() const { return size_; }
 
  private:
-  void CopyFrom(const AlignedBuffer& other) {
+  void CopyFrom(const AlignedBufferT& other) {
     Resize(other.size_);
-    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
   }
 
-  char* raw_ = nullptr;   // owning over-allocated block
-  float* data_ = nullptr; // 64B-aligned payload inside raw_
+  char* raw_ = nullptr;  // owning over-allocated block
+  T* data_ = nullptr;    // 64B-aligned payload inside raw_
   size_t size_ = 0;
   size_t cap_ = 0;
 };
+
+using AlignedBuffer = AlignedBufferT<float>;
 
 class Matrix {
  public:

@@ -10,12 +10,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace splash {
 
 namespace {
 
 std::atomic<const KernelTable*> g_kernels{nullptr};
+
+// Packed-GEMM kernel-selection knob: -1 unresolved, else 0/1. Resolved
+// once from SPLASH_GEMM_PACK on first use (same benign-race pattern as
+// the kernel table).
+std::atomic<int> g_gemm_pack{-1};
 
 const KernelTable* TableByName(const char* name) {
   if (std::strcmp(name, "avx512") == 0) return GetAvx512Kernels();
@@ -131,6 +137,111 @@ bool SetKernelBackendForTesting(const char* name) {
   }
   g_kernels.store(t, std::memory_order_release);
   return true;
+}
+
+bool GemmPackEnabled() {
+  int v = g_gemm_pack.load(std::memory_order_acquire);
+  if (v < 0) {
+    const char* env = std::getenv("SPLASH_GEMM_PACK");
+    v = 1;
+    if (env != nullptr && *env != '\0') {
+      if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+        v = 0;
+      } else if (std::strcmp(env, "on") != 0 &&
+                 std::strcmp(env, "1") != 0) {
+        std::fprintf(stderr,
+                     "splash: unknown SPLASH_GEMM_PACK value '%s' (want on "
+                     "or off); using on\n",
+                     env);
+      }
+    }
+    g_gemm_pack.store(v, std::memory_order_release);
+  }
+  return v != 0;
+}
+
+void SetGemmPackForTesting(bool enabled) {
+  g_gemm_pack.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+namespace {
+
+/// Reads one sysfs cache attribute ("level", "type", "size") for
+/// cpu0/cache/index<idx>. Returns false on any I/O failure.
+bool ReadCacheAttr(int idx, const char* attr, char* buf, size_t buf_len) {
+  char path[128];
+  std::snprintf(path, sizeof(path),
+                "/sys/devices/system/cpu/cpu0/cache/index%d/%s", idx, attr);
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  const bool ok = std::fgets(buf, static_cast<int>(buf_len), f) != nullptr;
+  std::fclose(f);
+  if (!ok) return false;
+  // Trim the trailing newline.
+  const size_t len = std::strlen(buf);
+  if (len > 0 && buf[len - 1] == '\n') buf[len - 1] = '\0';
+  return true;
+}
+
+/// Parses sysfs cache sizes: "48K", "2048K", "1M", plain bytes.
+size_t ParseCacheSize(const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return 0;
+  if (*end == 'K' || *end == 'k') return static_cast<size_t>(v) << 10;
+  if (*end == 'M' || *end == 'm') return static_cast<size_t>(v) << 20;
+  if (*end == 'G' || *end == 'g') return static_cast<size_t>(v) << 30;
+  return static_cast<size_t>(v);
+}
+
+CacheTopology ProbeCacheTopology() {
+  // Conservative fallback: small-L2 sizing only costs extra k-blocks,
+  // never correctness (packed results are bit-identical at any block
+  // size on a given backend).
+  CacheTopology t{32u << 10, 1u << 20, 0, false};
+  size_t l1d = 0, l2 = 0, l3 = 0;
+  char level[32], type[32], size[32];
+  for (int idx = 0; idx < 8; ++idx) {
+    if (!ReadCacheAttr(idx, "level", level, sizeof(level)) ||
+        !ReadCacheAttr(idx, "type", type, sizeof(type)) ||
+        !ReadCacheAttr(idx, "size", size, sizeof(size))) {
+      break;  // indices are contiguous; the first miss ends the scan
+    }
+    const size_t bytes = ParseCacheSize(size);
+    if (bytes == 0) continue;
+    if (std::strcmp(level, "1") == 0 && std::strcmp(type, "Data") == 0) {
+      l1d = bytes;
+    } else if (std::strcmp(level, "2") == 0 &&
+               std::strcmp(type, "Instruction") != 0) {
+      l2 = bytes;
+    } else if (std::strcmp(level, "3") == 0 &&
+               std::strcmp(type, "Instruction") != 0) {
+      l3 = bytes;
+    }
+  }
+  if (l1d > 0 && l2 > 0) {
+    t.l1d_bytes = l1d;
+    t.l2_bytes = l2;
+    t.l3_bytes = l3;
+    t.detected = true;
+  }
+  return t;
+}
+
+}  // namespace
+
+const CacheTopology& DetectCacheTopology() {
+  static const CacheTopology topology = ProbeCacheTopology();
+  return topology;
+}
+
+std::string CacheTopologyString() {
+  const CacheTopology& t = DetectCacheTopology();
+  std::string s = "l1d=" + std::to_string(t.l1d_bytes) +
+                  ",l2=" + std::to_string(t.l2_bytes) +
+                  ",l3=" + std::to_string(t.l3_bytes);
+  if (!t.detected) s += ",fallback";
+  return s;
 }
 
 }  // namespace splash

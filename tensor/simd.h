@@ -40,6 +40,8 @@
 namespace splash {
 
 class Matrix;
+class PackedMatrix;
+class PackedMatrix16;
 
 /// The per-backend serial kernel set. The parallel entry points in
 /// tensor/matrix.h partition work and call these on row ranges.
@@ -86,6 +88,29 @@ struct KernelTable {
   /// Scalar uses libm (the bit-exact reference); avx2/avx512 use an 8/16-
   /// lane Cody-Waite + minimax polynomial sincos (~1e-7 absolute error).
   void (*sincos_encode)(float x, float freq_decay, float* out, size_t dim);
+  /// Packed-B GEMM (tensor/packed.h): c rows [r0, r1) = a * B (+ c if
+  /// accumulate). Streams B one contiguous 16-float panel line per
+  /// reduction step; per-element FMA order matches matmul_range on the
+  /// same backend exactly, so packed results are bit-identical to
+  /// unpacked ones within one backend.
+  void (*matmul_packed_range)(const Matrix& a, const PackedMatrix& b,
+                              Matrix* c, size_t r0, size_t r1,
+                              bool accumulate);
+  /// Fused epilogue against packed B: c rows [r0, r1) = act(a * B + bias);
+  /// bias nullable (b.n() entries), act = ReLU when relu. Bit-identical to
+  /// matmul_bias_act_range on the same backend.
+  void (*matmul_packed_bias_act_range)(const Matrix& a,
+                                       const PackedMatrix& b, Matrix* c,
+                                       size_t r0, size_t r1,
+                                       const float* bias, bool relu);
+  /// Fused epilogue against bf16 packed B: widening loads, fp32
+  /// accumulation. Tolerance-equivalent to the fp32 kernels (half the
+  /// stored mantissa), never bit-equal — fp32 stays the determinism
+  /// reference (SPLASH_REPLICA_PRECISION default).
+  void (*matmul_packed16_bias_act_range)(const Matrix& a,
+                                         const PackedMatrix16& b, Matrix* c,
+                                         size_t r0, size_t r1,
+                                         const float* bias, bool relu);
 };
 
 /// The active kernel table, resolved once (env knob + cpuid) on first use.
@@ -124,6 +149,37 @@ bool SetKernelBackendForTesting(const char* name);
 const KernelTable* GetScalarKernels();
 const KernelTable* GetAvx2Kernels();
 const KernelTable* GetAvx512Kernels();
+
+/// Data-cache sizes of this host, in bytes. Read from sysfs
+/// (/sys/devices/system/cpu/cpu0/cache) on Linux; `detected` is false when
+/// that fails and the conservative fallback (32K/1M/no L3) is in effect.
+/// The packed-GEMM k-block size (tensor/packed.h) derives from l2_bytes,
+/// and scripts/bench.sh stamps the summary string into bench JSON context
+/// so snapshots from unlike cache hierarchies are never silently compared.
+struct CacheTopology {
+  size_t l1d_bytes;
+  size_t l2_bytes;
+  size_t l3_bytes;  // 0 when absent
+  bool detected;
+};
+
+/// The host cache topology, probed once per process.
+const CacheTopology& DetectCacheTopology();
+
+/// Canonical context string, e.g. "l1d=49152,l2=2097152,l3=110100480"
+/// ("detect-failed" fallback values render the same way with a trailing
+/// ",fallback" marker).
+std::string CacheTopologyString();
+
+/// Whether the packed-B GEMM tier is active. Resolved once from
+/// SPLASH_GEMM_PACK={on,off} (default on); packing still happens either
+/// way (grow-only, cheap), this knob only gates kernel selection so the
+/// CI matrix can exercise both paths on identical state.
+bool GemmPackEnabled();
+
+/// Overrides the pack knob for tests/benches. Not thread-safe against
+/// concurrent kernel calls — call from test set-up only.
+void SetGemmPackForTesting(bool enabled);
 
 }  // namespace splash
 

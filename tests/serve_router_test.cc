@@ -133,6 +133,19 @@ void ExpectBitEqual(const Matrix& a, const Matrix& b, const char* what) {
   }
 }
 
+/// Reads the reference through the shards' own read path: the const
+/// forward at the replica precision the service resolves from the
+/// environment (SPLASH_REPLICA_PRECISION), so the per-shard bit-identity
+/// oracle holds under the CI precision matrix exactly as at fp32.
+Matrix ReferenceScores(SplashPredictor* ref,
+                       const std::vector<PropertyQuery>& probe) {
+  const char* prec = std::getenv("SPLASH_REPLICA_PRECISION");
+  ref->SetReplicaPrecisionBf16(prec != nullptr &&
+                               std::string(prec) == "bf16");
+  SplashQueryScratch scratch;
+  return ref->PredictBatchConst(probe, &scratch);
+}
+
 ShardedServiceOptions RouterOptions(uint32_t num_shards) {
   ShardedServiceOptions opts;
   opts.num_shards = num_shards;
@@ -273,7 +286,7 @@ TEST_F(ServeRouterTest, RoutedRowsBitIdenticalToPerShardSerialReplay) {
       }
     }
     ASSERT_FALSE(sub.empty());
-    const Matrix want = ref->PredictBatch(sub);
+    const Matrix want = ReferenceScores(ref.get(), sub);
     ASSERT_EQ(want.rows(), rows.size());
     ASSERT_EQ(want.cols(), resp.scores.cols());
     for (size_t r = 0; r < rows.size(); ++r) {

@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "core/splash.h"
@@ -97,6 +99,20 @@ std::unique_ptr<SplashPredictor> MakeReference(const Dataset& ds,
   return ref;
 }
 
+/// Reads the reference through the same path the service's query tier
+/// uses: the const forward at the replica precision the service resolves
+/// from the environment (SPLASH_REPLICA_PRECISION). The oracle contract
+/// is "service read == reference read through the same path", so it must
+/// hold bit-for-bit under the CI precision matrix exactly as at fp32.
+Matrix ReferenceScores(SplashPredictor* ref,
+                       const std::vector<PropertyQuery>& probe) {
+  const char* prec = std::getenv("SPLASH_REPLICA_PRECISION");
+  ref->SetReplicaPrecisionBf16(prec != nullptr &&
+                               std::string(prec) == "bf16");
+  SplashQueryScratch scratch;
+  return ref->PredictBatchConst(probe, &scratch);
+}
+
 void ExpectBitEqual(const Matrix& a, const Matrix& b, const char* what) {
   ASSERT_EQ(a.rows(), b.rows()) << what;
   ASSERT_EQ(a.cols(), b.cols()) << what;
@@ -142,7 +158,7 @@ TEST_F(ServeServiceTest, SnapshotQueryBitIdenticalToSerialReplayTruncatedAtW) {
     for (; ref_cursor < fed; ++ref_cursor) {
       ref->ObserveEdge(live[ref_cursor], ref_cursor);
     }
-    const Matrix want = ref->PredictBatch(probe);
+    const Matrix want = ReferenceScores(ref.get(), probe);
     ExpectBitEqual(want, resp.scores, "snapshot vs serial replay");
   }
   service.Stop();
@@ -150,7 +166,7 @@ TEST_F(ServeServiceTest, SnapshotQueryBitIdenticalToSerialReplayTruncatedAtW) {
   // The snapshot survives Stop(): same watermark, same bits.
   ServeResponse after = client.Predict(probe);
   EXPECT_EQ(after.watermark_seq, fed);
-  const Matrix want = ref->PredictBatch(probe);
+  const Matrix want = ReferenceScores(ref.get(), probe);
   ExpectBitEqual(want, after.scores, "post-Stop snapshot");
 }
 
@@ -214,7 +230,7 @@ TEST_F(ServeServiceTest, TrainingFeedbackReplaysBitIdenticalViaApplyLog) {
   }
   ASSERT_EQ(cursor, n);
   ASSERT_EQ(train_i, trains.size());
-  const Matrix want = ref->PredictBatch(probe);
+  const Matrix want = ReferenceScores(ref.get(), probe);
   ExpectBitEqual(want, resp.scores, "train-feedback snapshot vs replay");
 }
 

@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -182,7 +184,14 @@ TEST_F(ServeStressTest, ConcurrentIngestAndQueriesNeverObserveTornState) {
   ASSERT_EQ(cursor, log.size());
 
   std::vector<PropertyQuery> probe(ds.queries.end() - 32, ds.queries.end());
-  const Matrix want = ref->PredictBatch(probe);
+  // Read the reference through the service's own path: the const forward
+  // at the env-resolved replica precision (SPLASH_REPLICA_PRECISION), so
+  // the oracle holds under the CI precision matrix exactly as at fp32.
+  const char* prec = std::getenv("SPLASH_REPLICA_PRECISION");
+  ref->SetReplicaPrecisionBf16(prec != nullptr &&
+                               std::string(prec) == "bf16");
+  SplashQueryScratch ref_scratch;
+  const Matrix want = ref->PredictBatchConst(probe, &ref_scratch);
   ServeClient client(&service);
   const ServeResponse resp = client.Predict(probe);
   ASSERT_EQ(resp.watermark_seq, log.size());
